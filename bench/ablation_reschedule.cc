@@ -1,0 +1,67 @@
+// Ablation: FDS rescheduling periods (Section 6.2) on vs off, and the
+// destination commit discipline (pipelined Algorithm 2b vs conservative
+// pinned 2PC) — the two FDS design choices DESIGN.md calls out.
+#include <cstdio>
+
+#include "common/csv.h"
+#include "core/experiment.h"
+
+int main() {
+  using namespace stableshard;
+
+  CsvWriter csv("ablation_reschedule.csv",
+                {"reschedule", "commit_mode", "rho", "avg_leader_queue",
+                 "avg_latency", "p99_latency", "unresolved"});
+
+  std::vector<core::SimConfig> configs;
+  struct Variant {
+    bool reschedule;
+    bool pipelined;
+    const char* name;
+  };
+  const std::vector<Variant> variants = {
+      {true, true, "resched+pipelined"},
+      {false, true, "noresched+pipelined"},
+      {true, false, "resched+pinned"},
+  };
+  for (const auto& variant : variants) {
+    for (const double rho : {0.06, 0.12, 0.18}) {
+      core::SimConfig config;
+      config.scheduler = core::SchedulerKind::kFds;
+      config.topology = net::TopologyKind::kLine;
+      config.hierarchy = core::HierarchyKind::kLineShifted;
+      config.shards = 64;
+      config.accounts = 64;
+      config.account_assignment = core::AccountAssignment::kRoundRobin;
+      config.k = 8;
+      config.rho = rho;
+      config.burstiness = 2000;
+      config.rounds = 25000;
+      config.fds_reschedule = variant.reschedule;
+      config.fds_pipelined = variant.pipelined;
+      configs.push_back(config);
+    }
+  }
+  const auto runs = core::RunSweep(configs);
+
+  std::printf("%-22s %8s %16s %12s %12s %12s\n", "variant", "rho",
+              "avg_leader_queue", "avg_latency", "p99_latency", "unresolved");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    const auto& variant = variants[i / 3];
+    std::printf("%-22s %8.2f %16.2f %12.0f %12.0f %12llu\n", variant.name,
+                run.config.rho, run.result.avg_leader_queue,
+                run.result.avg_latency, run.result.p99_latency,
+                static_cast<unsigned long long>(run.result.unresolved));
+    csv.Row(variant.reschedule ? 1 : 0, variant.pipelined ? "pipelined"
+                                                          : "pinned",
+            run.config.rho, run.result.avg_leader_queue,
+            run.result.avg_latency, run.result.p99_latency,
+            run.result.unresolved);
+  }
+  std::printf(
+      "\nReading: rescheduling compresses stale colors and lowers latency "
+      "tails; the pinned discipline pays a full leader round-trip per commit "
+      "per shard and diverges on the 64-shard line.\n");
+  return 0;
+}

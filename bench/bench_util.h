@@ -1,0 +1,94 @@
+// Shared helpers for the figure-reproduction benches: run a (rho, b) sweep
+// on the thread pool, print paper-style panels (one row per rho, one column
+// per b), and persist the raw series as CSV next to the binary.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "core/experiment.h"
+
+namespace stableshard::bench {
+
+/// The paper's Section 7 sweep: rho in 0.03..0.27 (step 0.03) and
+/// b in {1000, 2000, 3000}.
+inline std::vector<double> PaperRhoGrid() {
+  std::vector<double> grid;
+  for (int i = 1; i <= 9; ++i) grid.push_back(0.03 * i);
+  return grid;
+}
+
+inline std::vector<double> PaperBurstGrid() { return {1000, 2000, 3000}; }
+
+/// Result accessor used to fill one panel.
+using Metric = std::function<double(const core::SimResult&)>;
+
+struct Panel {
+  std::string title;    ///< e.g. "Average pending transactions per home shard"
+  std::string metric_name;
+  Metric metric;
+};
+
+/// Run the full rho x b sweep for `base` (rho/burstiness overwritten) and
+/// print each panel as a table; dump everything into `csv_path`.
+inline void RunFigureSweep(const core::SimConfig& base,
+                           const std::string& figure_name,
+                           const std::vector<Panel>& panels,
+                           const std::string& csv_path) {
+  const auto rhos = PaperRhoGrid();
+  const auto bursts = PaperBurstGrid();
+
+  std::vector<core::SimConfig> configs;
+  for (const double b : bursts) {
+    for (const double rho : rhos) {
+      core::SimConfig config = base;
+      config.rho = rho;
+      config.burstiness = b;
+      configs.push_back(config);
+    }
+  }
+  std::printf("%s: %zu simulations (%s), sweeping rho x b ...\n",
+              figure_name.c_str(), configs.size(), base.Describe().c_str());
+  std::fflush(stdout);
+  const auto runs = core::RunSweep(configs);
+
+  auto run_at = [&](std::size_t bi, std::size_t ri) -> const core::ExperimentRun& {
+    return runs[bi * rhos.size() + ri];
+  };
+
+  for (const Panel& panel : panels) {
+    std::printf("\n%s — %s\n", figure_name.c_str(), panel.title.c_str());
+    std::printf("%8s", "rho");
+    for (const double b : bursts) std::printf("  %12s=%-5.0f", "b", b);
+    std::printf("\n");
+    for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
+      std::printf("%8.2f", rhos[ri]);
+      for (std::size_t bi = 0; bi < bursts.size(); ++bi) {
+        std::printf("  %18.2f", panel.metric(run_at(bi, ri).result));
+      }
+      std::printf("\n");
+    }
+  }
+
+  CsvWriter csv(csv_path,
+                {"figure", "rho", "b", "avg_pending_per_shard", "avg_latency",
+                 "max_latency", "p99_latency", "avg_leader_queue", "injected",
+                 "committed", "aborted", "unresolved", "max_pending",
+                 "messages"});
+  for (std::size_t bi = 0; bi < bursts.size(); ++bi) {
+    for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
+      const auto& r = run_at(bi, ri).result;
+      csv.Row(figure_name, rhos[ri], bursts[bi], r.avg_pending_per_shard,
+              r.avg_latency, r.max_latency, r.p99_latency, r.avg_leader_queue,
+              r.injected, r.committed, r.aborted, r.unresolved, r.max_pending,
+              r.messages);
+    }
+  }
+  csv.Flush();
+  std::printf("\n[series written to %s]\n", csv_path.c_str());
+}
+
+}  // namespace stableshard::bench

@@ -1,0 +1,74 @@
+// Lemma 1 / Theorem 2 bound audit: runs BDS at the admissible rate
+// rho = max{1/(18k), 1/(18 ceil(sqrt(s)))} across (s, k, b) and reports the
+// measured maxima against the paper's bounds:
+//   epoch length <= 18 b min{k, ceil(sqrt(s))}      (Lemma 1)
+//   pending      <= 4 b s                           (Theorem 2)
+//   latency      <= 36 b min{k, ceil(sqrt(s))}      (Theorem 2)
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/math_util.h"
+#include "core/bds.h"
+#include "core/engine.h"
+
+int main() {
+  using namespace stableshard;
+
+  struct Case {
+    ShardId s;
+    std::uint32_t k;
+    double b;
+  };
+  const std::vector<Case> cases = {
+      {16, 4, 10},  {16, 4, 50},  {16, 8, 20}, {64, 8, 10},
+      {64, 8, 100}, {64, 2, 20},  {36, 6, 30}, {100, 10, 10},
+  };
+
+  CsvWriter csv("bounds_check.csv",
+                {"s", "k", "b", "rho", "max_epoch", "epoch_bound",
+                 "max_pending", "pending_bound", "max_latency",
+                 "latency_bound"});
+  std::printf("%5s %4s %6s %8s | %10s %10s | %12s %12s | %12s %12s\n", "s",
+              "k", "b", "rho", "max_epoch", "<=18b*m", "max_pending",
+              "<=4bs", "max_latency", "<=36b*m");
+  bool all_ok = true;
+  for (const Case& c : cases) {
+    core::SimConfig config;
+    config.scheduler = core::SchedulerKind::kBds;
+    config.topology = net::TopologyKind::kUniform;
+    config.shards = c.s;
+    config.accounts = c.s;
+    config.account_assignment = core::AccountAssignment::kRoundRobin;
+    config.k = c.k;
+    config.burstiness = c.b;
+    config.rho = BdsStableRateBound(c.k, c.s);
+    config.rounds = 12000;
+    config.drain_cap = 100000;
+    core::Simulation sim(config);
+    auto& scheduler = dynamic_cast<core::BdsScheduler&>(sim.scheduler());
+    const auto result = sim.Run();
+
+    const double m = static_cast<double>(MinKSqrtS(c.k, c.s));
+    const double epoch_bound = 18.0 * c.b * m;
+    const double pending_bound = 4.0 * c.b * c.s;
+    const double latency_bound = 36.0 * c.b * m;
+    const bool ok = scheduler.max_epoch_length() <= epoch_bound &&
+                    result.max_pending <= pending_bound &&
+                    result.max_latency <= latency_bound && result.drained;
+    all_ok = all_ok && ok;
+    std::printf(
+        "%5u %4u %6.0f %8.4f | %10llu %10.0f | %12llu %12.0f | %12.0f "
+        "%12.0f %s\n",
+        c.s, c.k, c.b, config.rho,
+        static_cast<unsigned long long>(scheduler.max_epoch_length()),
+        epoch_bound, static_cast<unsigned long long>(result.max_pending),
+        pending_bound, result.max_latency, latency_bound,
+        ok ? "OK" : "VIOLATED");
+    csv.Row(c.s, c.k, c.b, config.rho, scheduler.max_epoch_length(),
+            epoch_bound, result.max_pending, pending_bound,
+            result.max_latency, latency_bound);
+  }
+  std::printf("\n%s\n", all_ok ? "All paper bounds hold."
+                               : "BOUND VIOLATION DETECTED");
+  return all_ok ? 0 : 1;
+}

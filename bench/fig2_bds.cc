@@ -1,0 +1,35 @@
+// Reproduces Figure 2 (paper Section 7): Algorithm 1 (BDS) on the uniform
+// model with s = 64 shards, 64 accounts (one per shard), k = 8, 25000
+// rounds. Left panel: average pending transactions per home shard vs rho;
+// right panel: average transaction latency (rounds) vs rho; series per
+// burstiness b in {1000, 2000, 3000}.
+//
+// Expected shape (paper): both metrics are flat at low rho and grow
+// exponentially once rho exceeds ~0.15; larger b shifts the curves up.
+#include "bench_util.h"
+
+int main() {
+  using namespace stableshard;
+
+  core::SimConfig base;
+  base.scheduler = core::SchedulerKind::kBds;
+  base.topology = net::TopologyKind::kUniform;
+  base.shards = 64;
+  base.accounts = 64;  // one account per shard
+  base.account_assignment = core::AccountAssignment::kRoundRobin;
+  base.k = 8;
+  base.rounds = 25000;
+  base.burst_round = 0;
+  base.seed = 2024;
+
+  const std::vector<bench::Panel> panels = {
+      {"avg pending transactions per home shard (Fig. 2 left)",
+       "avg_pending_per_shard",
+       [](const core::SimResult& r) { return r.avg_pending_per_shard; }},
+      {"avg transaction latency in rounds (Fig. 2 right)", "avg_latency",
+       [](const core::SimResult& r) { return r.avg_latency; }},
+  };
+  bench::RunFigureSweep(base, "Figure 2 (BDS, uniform)", panels,
+                        "fig2_bds.csv");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Figure 3 (paper Section 7): Algorithm 2 (FDS) on the line
+// topology — 64 shards S_1..S_64 with distance |i - j|, shifted-interval
+// cluster hierarchy (clusters of 2, 4, ... shards; sub-layers shifted by
+// half a cluster), k = 8, 25000 rounds. Left panel: average
+// scheduled-but-uncommitted queue per cluster leader vs rho; right panel:
+// average transaction latency vs rho; series per b in {1000, 2000, 3000}.
+//
+// Expected shape (paper): leader queues stay moderate through rho ~0.18 and
+// grow with rho and b; latency exceeds Algorithm 1's due to the non-uniform
+// distances (1..63).
+#include "bench_util.h"
+
+int main() {
+  using namespace stableshard;
+
+  core::SimConfig base;
+  base.scheduler = core::SchedulerKind::kFds;
+  base.topology = net::TopologyKind::kLine;
+  base.hierarchy = core::HierarchyKind::kLineShifted;
+  base.shards = 64;
+  base.accounts = 64;
+  base.account_assignment = core::AccountAssignment::kRoundRobin;
+  base.k = 8;
+  base.rounds = 25000;
+  base.burst_round = 0;
+  base.seed = 2024;
+
+  const std::vector<bench::Panel> panels = {
+      {"avg scheduled-but-uncommitted txns per cluster leader (Fig. 3 left)",
+       "avg_leader_queue",
+       [](const core::SimResult& r) { return r.avg_leader_queue; }},
+      {"avg transaction latency in rounds (Fig. 3 right)", "avg_latency",
+       [](const core::SimResult& r) { return r.avg_latency; }},
+  };
+  bench::RunFigureSweep(base, "Figure 3 (FDS, line)", panels, "fig3_fds.csv");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// google-benchmark micro benchmarks for the hot components: conflict-graph
+// construction, colorings (graph-based and clique-based), the delayed
+// network, PBFT instances, cluster sends, hierarchy construction and token
+// buckets.
+#include <benchmark/benchmark.h>
+
+#include "adversary/token_bucket.h"
+#include "chain/account_map.h"
+#include "cluster/hierarchy.h"
+#include "common/rng.h"
+#include "consensus/cluster_sending.h"
+#include "consensus/pbft.h"
+#include "net/metric.h"
+#include "net/network.h"
+#include "txn/coloring.h"
+#include "txn/conflict_graph.h"
+#include "txn/txn_factory.h"
+
+namespace {
+
+using namespace stableshard;
+
+std::vector<txn::Transaction> MakeWorkload(std::size_t count,
+                                           std::uint32_t k, ShardId shards) {
+  const auto map = chain::AccountMap::RoundRobin(shards, shards);
+  txn::TxnFactory factory(map);
+  Rng rng(42);
+  std::vector<txn::Transaction> txns;
+  txns.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto picks = rng.SampleWithoutReplacement(shards, k);
+    std::vector<AccountId> accounts(picks.begin(), picks.end());
+    txns.push_back(factory.MakeTouch(
+        static_cast<ShardId>(rng.NextBounded(shards)), 0, accounts));
+  }
+  return txns;
+}
+
+void BM_ConflictGraphBuild(benchmark::State& state) {
+  const auto txns = MakeWorkload(state.range(0), 8, 64);
+  std::vector<const txn::Transaction*> view;
+  for (const auto& t : txns) view.push_back(&t);
+  for (auto _ : state) {
+    txn::ConflictGraph graph(view, txn::ConflictGranularity::kShard);
+    benchmark::DoNotOptimize(graph.MaxDegree());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConflictGraphBuild)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ColorShardCliques(benchmark::State& state) {
+  const auto txns = MakeWorkload(state.range(0), 8, 64);
+  std::vector<const txn::Transaction*> view;
+  for (const auto& t : txns) view.push_back(&t);
+  for (auto _ : state) {
+    const auto result =
+        ColorShardCliques(view, txn::ColoringAlgorithm::kGreedy);
+    benchmark::DoNotOptimize(result.num_colors);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ColorShardCliques)->Arg(256)->Arg(4096)->Arg(16384);
+
+void BM_ColorGraphGreedy(benchmark::State& state) {
+  const auto txns = MakeWorkload(state.range(0), 8, 64);
+  std::vector<const txn::Transaction*> view;
+  for (const auto& t : txns) view.push_back(&t);
+  const txn::ConflictGraph graph(view, txn::ConflictGranularity::kShard);
+  for (auto _ : state) {
+    const auto result = ColorGraph(graph, txn::ColoringAlgorithm::kGreedy);
+    benchmark::DoNotOptimize(result.num_colors);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ColorGraphGreedy)->Arg(256)->Arg(1024);
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  net::LineMetric metric(64);
+  Rng rng(3);
+  for (auto _ : state) {
+    net::Network<int> network(metric);
+    Round now = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      network.Send(static_cast<ShardId>(rng.NextBounded(64)),
+                   static_cast<ShardId>(rng.NextBounded(64)), now, i);
+    }
+    std::size_t delivered = 0;
+    while (network.HasPending()) {
+      delivered += network.Deliver(++now).size();
+    }
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetworkSendDeliver)->Arg(1000)->Arg(10000);
+
+void BM_PbftInstance(benchmark::State& state) {
+  consensus::PbftConfig config;
+  config.nodes = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto result = RunPbft(config, 0xfeed, 0, rng);
+    benchmark::DoNotOptimize(result.decided);
+  }
+}
+BENCHMARK(BM_PbftInstance)->Arg(4)->Arg(13)->Arg(31);
+
+void BM_ClusterSend(benchmark::State& state) {
+  consensus::ShardFaultProfile sender{13, 4, {}};
+  consensus::ShardFaultProfile receiver{13, 4, {}};
+  Rng rng(6);
+  for (auto _ : state) {
+    const auto result = SimulateClusterSend(sender, receiver, rng);
+    benchmark::DoNotOptimize(result.delivered);
+  }
+}
+BENCHMARK(BM_ClusterSend);
+
+void BM_HierarchyBuild(benchmark::State& state) {
+  net::LineMetric metric(static_cast<ShardId>(state.range(0)));
+  for (auto _ : state) {
+    const auto hierarchy = cluster::Hierarchy::BuildSparseCover(metric);
+    benchmark::DoNotOptimize(hierarchy.clusters().size());
+  }
+}
+BENCHMARK(BM_HierarchyBuild)->Arg(64)->Arg(256);
+
+void BM_TokenBucketTick(benchmark::State& state) {
+  adversary::TokenBucketArray buckets(
+      static_cast<ShardId>(state.range(0)), 0.1, 100);
+  for (auto _ : state) {
+    buckets.Tick();
+    benchmark::DoNotOptimize(buckets.MinTokens());
+  }
+}
+BENCHMARK(BM_TokenBucketTick)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

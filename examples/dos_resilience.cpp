@@ -1,0 +1,76 @@
+// DoS resilience: the paper's motivation — a malicious flood of
+// transactions should not destabilize the system. We hit BDS with
+// adversarial bursts (hotspot flood) at an admissible steady rate and show
+// that queues stay bounded (Theorem 2: pending <= 4bs) and the system
+// recovers, while pushing the rate beyond Theorem 1's threshold genuinely
+// diverges — the resilience boundary is the injection rate, not the burst.
+//
+//   build/examples/dos_resilience
+#include <cstdio>
+
+#include "common/math_util.h"
+#include "core/engine.h"
+
+namespace {
+
+stableshard::core::SimResult RunAttack(double rho, double burst,
+                                       stableshard::core::Simulation** out) {
+  using namespace stableshard;
+  core::SimConfig config;
+  config.scheduler = core::SchedulerKind::kBds;
+  config.shards = 32;
+  config.accounts = 32;
+  config.k = 4;
+  config.strategy = core::StrategyKind::kHotspot;  // flood one account
+  config.rho = rho;
+  config.burstiness = burst;
+  config.burst_round = 500;  // the attack lands mid-run
+  config.rounds = 20000;
+  static core::Simulation* sim = nullptr;
+  delete sim;
+  sim = new core::Simulation(config);
+  if (out) *out = sim;
+  sim->EnableSeries(/*window=*/2000);
+  return sim->Run();
+}
+
+}  // namespace
+
+int main() {
+  using namespace stableshard;
+
+  const double admissible = BdsStableRateBound(4, 32);
+  std::printf("BDS admissible rate for k=4, s=32: rho = %.4f\n", admissible);
+  std::printf("hotspot attack: every transaction write-locks account 0\n\n");
+
+  for (const double burst : {200.0, 800.0}) {
+    core::Simulation* sim = nullptr;
+    const auto result = RunAttack(admissible, burst, &sim);
+    std::printf("attack burst=%4.0f txns at admissible rate:\n", burst);
+    std::printf("  peak pending %llu (Theorem 2 cap 4bs = %.0f), "
+                "avg latency %.0f, unresolved at end %llu\n",
+                static_cast<unsigned long long>(result.max_pending),
+                4.0 * burst * 32, result.avg_latency,
+                static_cast<unsigned long long>(result.unresolved));
+    std::printf("  backlog over time:");
+    for (const auto& point : sim->pending_series()->points()) {
+      std::printf(" %.0f", point.value);
+    }
+    std::printf("   <- spike at the attack, then recovery\n\n");
+  }
+
+  // The same attack at an inadmissible rate (hotspot serializes everything,
+  // so any rate above ~1 txn per 4-round color block diverges).
+  core::Simulation* sim = nullptr;
+  const auto flooded = RunAttack(0.9, 800.0, &sim);
+  std::printf("attack at rho=0.90 (inadmissible for a serialized hotspot):\n");
+  std::printf("  unresolved at end %llu and growing:",
+              static_cast<unsigned long long>(flooded.unresolved));
+  for (const auto& point : sim->pending_series()->points()) {
+    std::printf(" %.0f", point.value);
+  }
+  std::printf("\n\nconclusion: bounded bursts cause bounded, recoverable "
+              "backlogs; only sustained over-rate injection destabilizes "
+              "the scheduler (Theorems 1 and 2).\n");
+  return 0;
+}

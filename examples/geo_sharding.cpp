@@ -1,0 +1,74 @@
+// Geo-distributed sharding: the non-uniform model. Shards sit on a line
+// (think data centers along a backbone); the FDS scheduler exploits its
+// hierarchical clustering so *local* transactions (nearby shards) commit
+// through low-layer clusters with small epochs, while global transactions
+// pay for the distance. We compare a local workload against a global one,
+// and FDS against the uncoordinated Direct baseline.
+//
+//   build/examples/geo_sharding
+#include <cstdio>
+
+#include "core/engine.h"
+
+namespace {
+
+stableshard::core::SimResult RunCase(stableshard::core::SchedulerKind kind,
+                                     bool local_workload) {
+  using namespace stableshard;
+  core::SimConfig config;
+  config.scheduler = kind;
+  config.topology = net::TopologyKind::kLine;
+  config.hierarchy = core::HierarchyKind::kLineShifted;
+  config.shards = 64;
+  config.accounts = 64;
+  config.account_assignment = core::AccountAssignment::kRoundRobin;
+  config.k = 4;
+  config.rho = 0.05;
+  config.burstiness = 500;
+  config.rounds = 15000;
+  if (local_workload) {
+    config.strategy = core::StrategyKind::kLocal;
+    config.local_radius = 3;  // transactions stay within 3 hops of home
+  } else {
+    config.strategy = core::StrategyKind::kUniformRandom;  // span the line
+  }
+  core::Simulation sim(config);
+  return sim.Run();
+}
+
+}  // namespace
+
+int main() {
+  using namespace stableshard;
+
+  std::printf("64 shards on a line (distances 1..63), rho=0.05, b=500\n\n");
+  std::printf("%-10s %-22s %12s %12s %12s\n", "scheduler", "workload",
+              "avg_latency", "p99_latency", "unresolved");
+
+  struct Case {
+    core::SchedulerKind kind;
+    bool local;
+    const char* name;
+  };
+  const Case cases[] = {
+      {core::SchedulerKind::kFds, true, "local (radius 3)"},
+      {core::SchedulerKind::kFds, false, "global (random shards)"},
+      {core::SchedulerKind::kDirect, true, "local (radius 3)"},
+      {core::SchedulerKind::kDirect, false, "global (random shards)"},
+  };
+  for (const Case& c : cases) {
+    const auto result = RunCase(c.kind, c.local);
+    std::printf("%-10s %-22s %12.0f %12.0f %12llu\n",
+                c.kind == core::SchedulerKind::kFds ? "fds" : "direct",
+                c.name, result.avg_latency, result.p99_latency,
+                static_cast<unsigned long long>(result.unresolved));
+  }
+
+  std::printf(
+      "\nreading: FDS assigns local transactions to low-layer clusters "
+      "(small epochs, nearby leaders), so their latency tracks the 3-hop "
+      "neighborhood rather than the 63-hop diameter — the locality property "
+      "Theorem 3's d-dependence formalizes. The Direct baseline has no "
+      "hierarchy to exploit and degrades on conflicted global traffic.\n");
+  return 0;
+}

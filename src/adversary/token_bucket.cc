@@ -1,0 +1,43 @@
+#include "adversary/token_bucket.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace stableshard::adversary {
+
+TokenBucketArray::TokenBucketArray(ShardId shards, double rate,
+                                   double burstiness)
+    : rate_(rate), burstiness_(burstiness) {
+  SSHARD_CHECK(shards >= 1);
+  SSHARD_CHECK(rate > 0.0 && rate <= 1.0);
+  SSHARD_CHECK(burstiness > 0.0);
+  tokens_.assign(shards, burstiness);
+}
+
+void TokenBucketArray::Tick() {
+  for (double& t : tokens_) {
+    t = std::min(burstiness_, t + rate_);
+  }
+}
+
+bool TokenBucketArray::CanConsume(const std::vector<ShardId>& shards) const {
+  for (const ShardId shard : shards) {
+    SSHARD_DCHECK(shard < tokens_.size());
+    if (tokens_[shard] < 1.0) return false;
+  }
+  return true;
+}
+
+void TokenBucketArray::Consume(const std::vector<ShardId>& shards) {
+  SSHARD_CHECK(CanConsume(shards));
+  for (const ShardId shard : shards) {
+    tokens_[shard] -= 1.0;
+  }
+}
+
+double TokenBucketArray::MinTokens() const {
+  return *std::min_element(tokens_.begin(), tokens_.end());
+}
+
+}  // namespace stableshard::adversary

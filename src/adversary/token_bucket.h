@@ -1,0 +1,49 @@
+// Leaky-bucket enforcement of the (rho, b) adversarial injection model.
+//
+// Section 3: "the congestion on each shard within a contiguous time interval
+// of duration t > 0 is limited to at most rho*t + b transactions per shard".
+// A per-shard token bucket with capacity b, refill rho per round, and one
+// token consumed per injected transaction touching the shard enforces
+// exactly this: at any instant tokens <= b, so injections in any window of
+// length t are bounded by b + rho*t. Buckets start full, modelling the
+// adversary's ability to burst immediately.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace stableshard::adversary {
+
+class TokenBucketArray {
+ public:
+  /// One bucket per shard; capacity `burstiness` (b > 0), refill `rate`
+  /// (rho in (0, 1]) per round. Buckets start full.
+  TokenBucketArray(ShardId shards, double rate, double burstiness);
+
+  /// Advance one round: every bucket refills by rate, capped at capacity.
+  void Tick();
+
+  /// True iff every shard in `shards` currently holds >= 1 token.
+  bool CanConsume(const std::vector<ShardId>& shards) const;
+
+  /// Consume one token from each listed shard; caller must have checked
+  /// CanConsume (aborts otherwise — over-injection is an adversary bug).
+  void Consume(const std::vector<ShardId>& shards);
+
+  double tokens(ShardId shard) const { return tokens_[shard]; }
+  double rate() const { return rate_; }
+  double burstiness() const { return burstiness_; }
+  ShardId shard_count() const { return static_cast<ShardId>(tokens_.size()); }
+
+  /// Smallest token count across all shards (burst headroom probe).
+  double MinTokens() const;
+
+ private:
+  double rate_;
+  double burstiness_;
+  std::vector<double> tokens_;
+};
+
+}  // namespace stableshard::adversary

@@ -1,0 +1,59 @@
+#include "chain/account_map.h"
+
+#include "common/check.h"
+
+namespace stableshard::chain {
+
+AccountMap::AccountMap(ShardId shards, std::vector<ShardId> owner)
+    : shards_(shards), owner_(std::move(owner)), by_shard_(shards) {
+  SSHARD_CHECK(shards >= 1);
+  for (AccountId a = 0; a < owner_.size(); ++a) {
+    SSHARD_CHECK(owner_[a] < shards_);
+    by_shard_[owner_[a]].push_back(a);
+  }
+}
+
+AccountMap AccountMap::RoundRobin(ShardId shards, AccountId accounts) {
+  SSHARD_CHECK(shards >= 1 && accounts >= 1);
+  std::vector<ShardId> owner(accounts);
+  for (AccountId a = 0; a < accounts; ++a) {
+    owner[a] = static_cast<ShardId>(a % shards);
+  }
+  return AccountMap(shards, std::move(owner));
+}
+
+AccountMap AccountMap::Random(ShardId shards, AccountId accounts, Rng& rng) {
+  SSHARD_CHECK(shards >= 1 && accounts >= 1);
+  std::vector<ShardId> owner(accounts);
+  if (accounts >= shards) {
+    // Seed one account per shard so no shard is empty, then spread the rest
+    // uniformly. The seeded accounts are chosen from a random permutation so
+    // low account ids are not biased toward low shard ids.
+    std::vector<AccountId> seeded(accounts);
+    for (AccountId a = 0; a < accounts; ++a) seeded[a] = a;
+    rng.Shuffle(std::span<AccountId>(seeded));
+    for (ShardId sh = 0; sh < shards; ++sh) {
+      owner[seeded[sh]] = sh;
+    }
+    for (AccountId i = shards; i < accounts; ++i) {
+      owner[seeded[i]] = static_cast<ShardId>(rng.NextBounded(shards));
+    }
+  } else {
+    for (AccountId a = 0; a < accounts; ++a) {
+      owner[a] = static_cast<ShardId>(rng.NextBounded(shards));
+    }
+  }
+  return AccountMap(shards, std::move(owner));
+}
+
+ShardId AccountMap::OwnerOf(AccountId account) const {
+  SSHARD_CHECK(account < owner_.size());
+  return owner_[account];
+}
+
+const std::vector<AccountId>& AccountMap::AccountsOf(ShardId shard) const {
+  SSHARD_CHECK(shard < shards_);
+  return by_shard_[shard];
+}
+
+}  // namespace stableshard::chain

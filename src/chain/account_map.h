@@ -1,0 +1,48 @@
+// Static partition of accounts (objects) across shards.
+//
+// Section 3: the shared objects O are divided into disjoint subsets
+// O_1..O_s, O_i managed by shard S_i, and objects have *fixed* positions
+// (unlike distributed transactional memory, objects never migrate — the
+// paper calls this out as the reason prior DTM results don't apply).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace stableshard::chain {
+
+class AccountMap {
+ public:
+  /// Round-robin assignment: account a lives on shard a % s. With
+  /// accounts == shards this is the paper's simulation setup (one account
+  /// per shard).
+  static AccountMap RoundRobin(ShardId shards, AccountId accounts);
+
+  /// Random assignment (each account to a uniformly random shard), the
+  /// "generated random unique accounts assigned randomly to shards" setup
+  /// of Section 7. Guarantees every shard owns at least one account when
+  /// accounts >= shards (by seeding one account per shard first).
+  static AccountMap Random(ShardId shards, AccountId accounts, Rng& rng);
+
+  ShardId shard_count() const { return shards_; }
+  AccountId account_count() const {
+    return static_cast<AccountId>(owner_.size());
+  }
+
+  ShardId OwnerOf(AccountId account) const;
+
+  /// Accounts owned by one shard (ascending).
+  const std::vector<AccountId>& AccountsOf(ShardId shard) const;
+
+ private:
+  AccountMap(ShardId shards, std::vector<ShardId> owner);
+
+  ShardId shards_;
+  std::vector<ShardId> owner_;                      // account -> shard
+  std::vector<std::vector<AccountId>> by_shard_;    // shard -> accounts
+};
+
+}  // namespace stableshard::chain

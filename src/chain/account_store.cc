@@ -1,0 +1,33 @@
+#include "chain/account_store.h"
+
+#include "common/check.h"
+
+namespace stableshard::chain {
+
+Balance AccountStore::BalanceOf(AccountId account) const {
+  const auto it = balances_.find(account);
+  return it == balances_.end() ? default_balance_ : it->second;
+}
+
+void AccountStore::SetBalance(AccountId account, Balance balance) {
+  balances_[account] = balance;
+}
+
+void AccountStore::Apply(const Action& action) {
+  const Balance current = BalanceOf(action.account);
+  SSHARD_CHECK(action.IsValidOn(current));
+  if (action.IsWrite()) {
+    balances_[action.account] = action.Apply(current);
+  }
+}
+
+Balance AccountStore::TotalBalance() const {
+  Balance total = 0;
+  for (const auto& [account, balance] : balances_) {
+    (void)account;
+    total += balance;
+  }
+  return total;
+}
+
+}  // namespace stableshard::chain

@@ -1,0 +1,47 @@
+// Per-shard account state.
+//
+// Each shard owns the balances of its accounts; destination shards evaluate
+// subtransaction conditions and validity against this store when voting
+// (Phase 3 / Algorithm 2b Step 1) and apply actions on commit.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "chain/ops.h"
+#include "common/types.h"
+
+namespace stableshard::chain {
+
+class AccountStore {
+ public:
+  /// Creates accounts lazily with `default_balance` on first touch.
+  explicit AccountStore(Balance default_balance = 0)
+      : default_balance_(default_balance) {}
+
+  Balance BalanceOf(AccountId account) const;
+  void SetBalance(AccountId account, Balance balance);
+
+  bool Check(const Condition& condition) const {
+    return condition.Holds(BalanceOf(condition.account));
+  }
+
+  bool IsValid(const Action& action) const {
+    return action.IsValidOn(BalanceOf(action.account));
+  }
+
+  /// Applies the action; aborts the process if invalid (callers must vote
+  /// first — applying an invalid action is a scheduler bug, not user error).
+  void Apply(const Action& action);
+
+  /// Sum of all materialized balances (conservation checks in tests).
+  Balance TotalBalance() const;
+
+  std::size_t materialized_accounts() const { return balances_.size(); }
+
+ private:
+  Balance default_balance_;
+  std::unordered_map<AccountId, Balance> balances_;
+};
+
+}  // namespace stableshard::chain

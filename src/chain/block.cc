@@ -1,0 +1,19 @@
+#include "chain/block.h"
+
+#include "common/rng.h"
+
+namespace stableshard::chain {
+
+BlockHash ComputeBlockHash(const Block& block) {
+  // Sponge-style absorption of each field through SplitMix64 steps; any
+  // single-field change diffuses into the final state.
+  std::uint64_t state = block.parent ^ 0x9e3779b97f4a7c15ULL;
+  state ^= SplitMix64(state) ^ block.height;
+  state ^= SplitMix64(state) ^ block.txn;
+  state ^= SplitMix64(state) ^ block.shard;
+  state ^= SplitMix64(state) ^ block.commit_round;
+  state ^= SplitMix64(state) ^ block.payload_digest;
+  return SplitMix64(state);
+}
+
+}  // namespace stableshard::chain

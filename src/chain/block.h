@@ -1,0 +1,40 @@
+// Blocks and hash linking.
+//
+// Section 3: each shard maintains a local blockchain of the subtransactions
+// it receives; blocks are linked through hashes, making them immutable. Our
+// block structure follows the paper's simplification — one (sub)transaction
+// per block — and records the commit round, which the global-chain
+// reconstruction uses to serialize conflicting transactions consistently.
+//
+// The hash is a 64-bit non-cryptographic chain hash (SplitMix64-based
+// mixing over the block fields). The paper's security argument rests on
+// PBFT + cluster-sending, not on hash hardness, so a fast mixing hash keeps
+// the integrity-check semantics (any field tamper breaks the link) without
+// a crypto dependency.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace stableshard::chain {
+
+using BlockHash = std::uint64_t;
+
+/// Hash of the genesis predecessor.
+inline constexpr BlockHash kGenesisParent = 0x5eed0b10c5ULL;
+
+struct Block {
+  std::uint64_t height = 0;      ///< position in the local chain, 0-based
+  BlockHash parent = 0;          ///< hash of the previous block
+  BlockHash hash = 0;            ///< hash of this block (derived)
+  TxnId txn = kInvalidTxn;       ///< transaction this subtransaction belongs to
+  ShardId shard = kInvalidShard; ///< owning (destination) shard
+  Round commit_round = 0;        ///< round at which the commit happened
+  std::uint64_t payload_digest = 0;  ///< digest of the subtransaction body
+};
+
+/// Computes the chained hash over all fields except `hash` itself.
+BlockHash ComputeBlockHash(const Block& block);
+
+}  // namespace stableshard::chain

@@ -1,0 +1,59 @@
+// Global blockchain reconstruction.
+//
+// Section 3 (after [Adhikari & Busch 2023]): "whenever it is required, it is
+// possible to combine and serialize the local chains to form a single global
+// blockchain". Because the schedulers commit all subtransactions of a
+// transaction in the same round and serialize conflicting transactions, the
+// union of local chains ordered by (commit_round, txn id) is a valid global
+// serialization. This module performs that merge and validates it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/local_chain.h"
+#include "common/types.h"
+
+namespace stableshard::chain {
+
+/// One committed transaction in the reconstructed global order.
+struct GlobalEntry {
+  TxnId txn = kInvalidTxn;
+  Round commit_round = 0;       ///< first (earliest) commit round observed
+  Round last_commit_round = 0;  ///< last commit round observed
+  std::vector<ShardId> shards;  ///< destination shards that appended a block
+};
+
+/// How strictly commit rounds must agree across a transaction's shards.
+/// BDS commits all subtransactions of a transaction in the same round
+/// (kSameRound); FDS confirms travel different distances so per-shard commit
+/// rounds differ, and only the *order* consistency is required (kOrdered —
+/// validated separately via CheckSerializable).
+enum class AtomicityMode { kSameRound, kOrdered };
+
+struct ReconstructionResult {
+  std::vector<GlobalEntry> entries;  ///< global serialization order
+  bool consistent = false;           ///< all consistency checks passed
+  std::string error;                 ///< first violated check, if any
+};
+
+/// Merge local chains into the global order.
+///
+/// Consistency checks performed:
+///  1. every local chain's hash links verify;
+///  2. a (txn, shard) pair appears at most once across all chains;
+///  3. under kSameRound, all blocks of one transaction carry the same
+///     commit round (atomic same-round commitment).
+ReconstructionResult ReconstructGlobalChain(
+    const std::vector<LocalChain>& chains,
+    AtomicityMode mode = AtomicityMode::kSameRound);
+
+/// Cross-shard serializability: the per-shard local chain orders must be
+/// mutually consistent, i.e. no two transactions appear in opposite order
+/// in two different chains. Checked by building the union of the per-chain
+/// precedence relations (consecutive-block edges) and testing acyclicity
+/// (Kahn's algorithm). Returns true iff a global serialization exists.
+bool CheckSerializable(const std::vector<LocalChain>& chains);
+
+}  // namespace stableshard::chain

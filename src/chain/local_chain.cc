@@ -1,0 +1,31 @@
+#include "chain/local_chain.h"
+
+namespace stableshard::chain {
+
+const Block& LocalChain::Append(TxnId txn, Round commit_round,
+                                std::uint64_t payload_digest) {
+  Block block;
+  block.height = blocks_.size();
+  block.parent = blocks_.empty() ? kGenesisParent : blocks_.back().hash;
+  block.txn = txn;
+  block.shard = shard_;
+  block.commit_round = commit_round;
+  block.payload_digest = payload_digest;
+  block.hash = ComputeBlockHash(block);
+  blocks_.push_back(block);
+  return blocks_.back();
+}
+
+bool LocalChain::Verify() const {
+  BlockHash expected_parent = kGenesisParent;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& block = blocks_[i];
+    if (block.height != i) return false;
+    if (block.parent != expected_parent) return false;
+    if (block.hash != ComputeBlockHash(block)) return false;
+    expected_parent = block.hash;
+  }
+  return true;
+}
+
+}  // namespace stableshard::chain

@@ -1,0 +1,37 @@
+// A shard's local blockchain of committed subtransactions.
+#pragma once
+
+#include <vector>
+
+#include "chain/block.h"
+#include "common/types.h"
+
+namespace stableshard::chain {
+
+class LocalChain {
+ public:
+  explicit LocalChain(ShardId shard) : shard_(shard) {}
+
+  /// Append a committed subtransaction of `txn` at `commit_round`.
+  /// Returns the appended block.
+  const Block& Append(TxnId txn, Round commit_round,
+                      std::uint64_t payload_digest);
+
+  /// Verify every hash link from genesis; true iff untampered.
+  bool Verify() const;
+
+  ShardId shard() const { return shard_; }
+  std::size_t size() const { return blocks_.size(); }
+  bool empty() const { return blocks_.empty(); }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const Block& back() const { return blocks_.back(); }
+
+  /// Test hook: mutate a block in place (integrity tests only).
+  Block& MutableBlockForTest(std::size_t index) { return blocks_[index]; }
+
+ private:
+  ShardId shard_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace stableshard::chain

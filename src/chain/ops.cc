@@ -1,0 +1,101 @@
+#include "chain/ops.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace stableshard::chain {
+
+bool Condition::Holds(Balance balance) const {
+  switch (op) {
+    case CmpOp::kGe:
+      return balance >= value;
+    case CmpOp::kGt:
+      return balance > value;
+    case CmpOp::kLe:
+      return balance <= value;
+    case CmpOp::kLt:
+      return balance < value;
+    case CmpOp::kEq:
+      return balance == value;
+    case CmpOp::kNe:
+      return balance != value;
+  }
+  return false;
+}
+
+bool Action::IsValidOn(Balance balance) const {
+  switch (kind) {
+    case ActionKind::kNone:
+      return true;
+    case ActionKind::kDeposit:
+      return amount >= 0;
+    case ActionKind::kWithdraw:
+      return amount >= 0 && balance >= amount;
+    case ActionKind::kSet:
+      return true;
+  }
+  return false;
+}
+
+Balance Action::Apply(Balance balance) const {
+  SSHARD_DCHECK(IsValidOn(balance));
+  switch (kind) {
+    case ActionKind::kNone:
+      return balance;
+    case ActionKind::kDeposit:
+      return balance + amount;
+    case ActionKind::kWithdraw:
+      return balance - amount;
+    case ActionKind::kSet:
+      return amount;
+  }
+  return balance;
+}
+
+const char* ToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kEq:
+      return "==";
+    case CmpOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+const char* ToString(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kNone:
+      return "none";
+    case ActionKind::kDeposit:
+      return "deposit";
+    case ActionKind::kWithdraw:
+      return "withdraw";
+    case ActionKind::kSet:
+      return "set";
+  }
+  return "?";
+}
+
+std::string Condition::ToString() const {
+  std::ostringstream os;
+  os << "acct[" << account << "] " << chain::ToString(op) << ' ' << value;
+  return os.str();
+}
+
+std::string Action::ToString() const {
+  std::ostringstream os;
+  os << chain::ToString(kind) << '(' << "acct[" << account << "], " << amount
+     << ')';
+  return os.str();
+}
+
+}  // namespace stableshard::chain

@@ -1,0 +1,63 @@
+// Account operations: the condition/action subtransaction structure of
+// ByShard-style sharding (paper Section 3, Example 1).
+//
+// Each subtransaction has (i) a condition check over the accounts owned by
+// its destination shard, and (ii) a main action updating those accounts.
+// Example 1's T1 = "transfer 1000 from Rex to Alice if Rex has 5000 and
+// Alice has 200 and Bob has 400" becomes three subtransactions whose
+// conditions/actions are expressible with the types below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace stableshard::chain {
+
+/// Account balances are signed 64-bit integers (smallest currency unit).
+using Balance = std::int64_t;
+
+enum class CmpOp : std::uint8_t { kGe, kGt, kLe, kLt, kEq, kNe };
+
+/// A predicate over a single account's balance, e.g. "Rex >= 5000".
+struct Condition {
+  AccountId account = 0;
+  CmpOp op = CmpOp::kGe;
+  Balance value = 0;
+
+  bool Holds(Balance balance) const;
+  std::string ToString() const;
+};
+
+enum class ActionKind : std::uint8_t {
+  kNone,     ///< condition-only participation (Example 1's T1,b on Bob)
+  kDeposit,  ///< add `amount` (amount >= 0)
+  kWithdraw, ///< subtract `amount`; *invalid* if balance would go negative
+  kSet,      ///< set balance to `amount`
+};
+
+/// A state update on a single account, e.g. "remove 1000 from Rex".
+struct Action {
+  AccountId account = 0;
+  ActionKind kind = ActionKind::kNone;
+  Balance amount = 0;
+
+  /// Whether the action modifies account state (kNone does not, and thus
+  /// contributes a *read*, not a write, to conflict analysis).
+  bool IsWrite() const { return kind != ActionKind::kNone; }
+
+  /// Validity on the current balance (the paper's "transaction is valid"
+  /// check, e.g. Rex actually has the 1000 to be removed).
+  bool IsValidOn(Balance balance) const;
+
+  /// Resulting balance; caller must have checked IsValidOn.
+  Balance Apply(Balance balance) const;
+
+  std::string ToString() const;
+};
+
+const char* ToString(CmpOp op);
+const char* ToString(ActionKind kind);
+
+}  // namespace stableshard::chain

@@ -1,0 +1,224 @@
+#include "cluster/hierarchy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace stableshard::cluster {
+
+namespace {
+
+/// A shard qualifies as leader of a layer-l cluster iff its (2^l - 1)-
+/// neighborhood is contained in the cluster (Section 6.1).
+ShardId PickLeader(const net::ShardMetric& metric, const Cluster& cluster,
+                   std::uint32_t layer) {
+  const Distance radius =
+      layer >= 31 ? std::numeric_limits<Distance>::max() / 2
+                  : static_cast<Distance>((1u << layer) - 1);
+  for (const ShardId candidate : cluster.shards) {
+    bool contained = true;
+    for (const ShardId other : metric.Neighborhood(candidate, radius)) {
+      if (!cluster.Contains(other)) {
+        contained = false;
+        break;
+      }
+    }
+    if (contained) return candidate;
+  }
+  return kInvalidShard;
+}
+
+}  // namespace
+
+Hierarchy::Hierarchy(const net::ShardMetric& metric)
+    : metric_(&metric), containing_(metric.shard_count()) {}
+
+void Hierarchy::AddCluster(std::uint32_t layer, std::uint32_t sublayer,
+                           std::vector<ShardId> shards) {
+  SSHARD_CHECK(!shards.empty());
+  Cluster cluster;
+  cluster.id = static_cast<std::uint32_t>(clusters_.size());
+  cluster.layer = layer;
+  cluster.sublayer = sublayer;
+  cluster.member.assign(metric_->shard_count(), false);
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  for (const ShardId shard : shards) {
+    SSHARD_CHECK(shard < metric_->shard_count());
+    cluster.member[shard] = true;
+  }
+  cluster.shards = std::move(shards);
+  cluster.diameter = metric_->SubsetDiameter(cluster.shards);
+  cluster.leader = PickLeader(*metric_, cluster, layer);
+  for (const ShardId shard : cluster.shards) {
+    containing_[shard].push_back(cluster.id);
+  }
+  clusters_.push_back(std::move(cluster));
+}
+
+void Hierarchy::Finalize() {
+  // Guarantee a full-membership, leadered cluster exists so FindHomeCluster
+  // always succeeds (the top of the hierarchy).
+  const ShardId s = metric_->shard_count();
+  bool have_top = false;
+  for (const Cluster& cluster : clusters_) {
+    if (cluster.HasLeader() && cluster.size() == s) {
+      have_top = true;
+      break;
+    }
+  }
+  if (!have_top) {
+    std::vector<ShardId> all(s);
+    for (ShardId i = 0; i < s; ++i) all[i] = i;
+    AddCluster(layer_count_, 0, std::move(all));
+    // The whole graph trivially contains any neighborhood, but PickLeader
+    // used radius 2^layer - 1; with the full set every shard qualifies, so
+    // a leader was found.
+    SSHARD_CHECK(clusters_.back().HasLeader());
+    ++layer_count_;
+  }
+  // Per-shard cluster lists ordered by (layer, sublayer, id) so the home
+  // cluster scan visits lowest levels first.
+  for (auto& list : containing_) {
+    std::sort(list.begin(), list.end(), [this](std::uint32_t a,
+                                               std::uint32_t b) {
+      const Cluster& ca = clusters_[a];
+      const Cluster& cb = clusters_[b];
+      if (ca.layer != cb.layer) return ca.layer < cb.layer;
+      if (ca.sublayer != cb.sublayer) return ca.sublayer < cb.sublayer;
+      return ca.id < cb.id;
+    });
+  }
+}
+
+Hierarchy Hierarchy::BuildLineShifted(const net::ShardMetric& metric) {
+  Hierarchy h(metric);
+  const ShardId s = metric.shard_count();
+  // Layers 0..H1-1 with cluster size min(s, 2^{l+1}); the top layer is the
+  // first whose clusters span every shard.
+  std::uint32_t layers = 1;
+  while ((std::uint64_t{2} << (layers - 1)) < s) ++layers;  // 2^layers >= s
+  h.layer_count_ = layers;
+  h.sublayer_count_ = 2;
+  for (std::uint32_t l = 0; l < layers; ++l) {
+    const std::uint64_t size = std::min<std::uint64_t>(s, 2ull << l);
+    // Sub-layer 0: aligned intervals [m*size, (m+1)*size).
+    for (std::uint64_t start = 0; start < s; start += size) {
+      std::vector<ShardId> shards;
+      for (std::uint64_t i = start; i < std::min<std::uint64_t>(s, start + size);
+           ++i) {
+        shards.push_back(static_cast<ShardId>(i));
+      }
+      h.AddCluster(l, 0, std::move(shards));
+    }
+    // Sub-layer 1: shifted right by half a cluster (paper Section 7). Only
+    // meaningful when the shift is non-trivial and clusters don't already
+    // cover everything in one piece.
+    const std::uint64_t half = size / 2;
+    if (half >= 1 && size < s) {
+      for (std::uint64_t start = 0; start < s;
+           start = (start == 0 ? half : start + size)) {
+        std::vector<ShardId> shards;
+        const std::uint64_t end =
+            std::min<std::uint64_t>(s, start == 0 ? half : start + size);
+        for (std::uint64_t i = start; i < end; ++i) {
+          shards.push_back(static_cast<ShardId>(i));
+        }
+        h.AddCluster(l, 1, std::move(shards));
+      }
+    }
+  }
+  h.Finalize();
+  return h;
+}
+
+Hierarchy Hierarchy::BuildSparseCover(const net::ShardMetric& metric) {
+  Hierarchy h(metric);
+  const ShardId s = metric.shard_count();
+  const Distance diameter = metric.Diameter();
+  const std::uint32_t layers =
+      diameter == 0 ? 1 : CeilLog2(std::uint64_t{diameter} + 1) + 1;
+  h.layer_count_ = layers;
+  h.sublayer_count_ = std::max<std::uint32_t>(1, CeilLog2(s) + 1);
+
+  for (std::uint32_t l = 0; l < layers; ++l) {
+    const Distance net_radius = static_cast<Distance>(1u << l);  // 2^l
+    const Distance ball_radius =
+        static_cast<Distance>((2u << l) - 1);  // 2^{l+1} - 1
+    // Greedy 2^l-net: centers pairwise more than 2^l apart; every shard is
+    // within 2^l of some center.
+    std::vector<ShardId> centers;
+    for (ShardId candidate = 0; candidate < s; ++candidate) {
+      bool covered = false;
+      for (const ShardId center : centers) {
+        if (metric.distance(candidate, center) <= net_radius) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) centers.push_back(candidate);
+    }
+    // One ball cluster per center; sub-layer by center rank. The center's
+    // (2^l - 1)-neighborhood is inside the ball, so it is a valid leader.
+    for (std::size_t rank = 0; rank < centers.size(); ++rank) {
+      const std::uint32_t sublayer =
+          static_cast<std::uint32_t>(rank % h.sublayer_count_);
+      h.AddCluster(l, sublayer,
+                   metric.Neighborhood(centers[rank], ball_radius));
+      SSHARD_CHECK(h.clusters_.back().HasLeader());
+    }
+  }
+  h.Finalize();
+  return h;
+}
+
+Distance Hierarchy::layer_diameter(std::uint32_t layer) const {
+  Distance max_diameter = 1;
+  for (const Cluster& cluster : clusters_) {
+    if (cluster.layer == layer) {
+      max_diameter = std::max(max_diameter, cluster.diameter);
+    }
+  }
+  return max_diameter;
+}
+
+const std::vector<std::uint32_t>& Hierarchy::clusters_containing(
+    ShardId shard) const {
+  SSHARD_CHECK(shard < containing_.size());
+  return containing_[shard];
+}
+
+const Cluster& Hierarchy::FindHomeCluster(ShardId home, Distance x) const {
+  SSHARD_CHECK(home < metric_->shard_count());
+  const std::vector<ShardId> neighborhood = metric_->Neighborhood(home, x);
+  for (const std::uint32_t id : containing_[home]) {
+    const Cluster& cluster = clusters_[id];
+    if (!cluster.HasLeader()) continue;
+    bool contains_all = true;
+    for (const ShardId shard : neighborhood) {
+      if (!cluster.Contains(shard)) {
+        contains_all = false;
+        break;
+      }
+    }
+    if (contains_all) return cluster;
+  }
+  SSHARD_CHECK(false && "no home cluster found (missing top cluster?)");
+  return clusters_.front();
+}
+
+std::uint32_t Hierarchy::MaxMembership(std::uint32_t layer) const {
+  std::uint32_t max_membership = 0;
+  for (ShardId shard = 0; shard < metric_->shard_count(); ++shard) {
+    std::uint32_t count = 0;
+    for (const std::uint32_t id : containing_[shard]) {
+      if (clusters_[id].layer == layer) ++count;
+    }
+    max_membership = std::max(max_membership, count);
+  }
+  return max_membership;
+}
+
+}  // namespace stableshard::cluster

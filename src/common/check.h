@@ -1,0 +1,33 @@
+// Lightweight invariant checking that stays enabled in release builds.
+//
+// Simulation correctness (atomicity, unit shard capacity, proper coloring)
+// is part of the reproduction claim, so violations must abort loudly rather
+// than silently skew measurements. SSHARD_CHECK is cheap (a branch) and is
+// used on hot paths only where the predicate is O(1).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stableshard::detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "SSHARD_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace stableshard::detail
+
+#define SSHARD_CHECK(expr)                                         \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::stableshard::detail::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                              \
+  } while (0)
+
+#ifdef NDEBUG
+#define SSHARD_DCHECK(expr) ((void)0)
+#else
+#define SSHARD_DCHECK(expr) SSHARD_CHECK(expr)
+#endif

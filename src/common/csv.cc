@@ -1,0 +1,18 @@
+#include "common/csv.h"
+
+namespace stableshard {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+  if (!out_) return;
+  bool first = true;
+  for (const auto& column : header) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << column;
+  }
+  out_ << '\n';
+}
+
+}  // namespace stableshard

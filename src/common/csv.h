@@ -1,0 +1,43 @@
+// Minimal CSV writer used by the benchmark harness to persist the series
+// behind every reproduced figure (one file per figure panel).
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace stableshard {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// True if the output file opened successfully.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  /// Append one row; values are stringified with operator<<.
+  template <typename... Ts>
+  void Row(const Ts&... values) {
+    std::ostringstream line;
+    bool first = true;
+    ((AppendCell(line, values, first)), ...);
+    out_ << line.str() << '\n';
+  }
+
+  void Flush() { out_.flush(); }
+
+ private:
+  template <typename T>
+  static void AppendCell(std::ostringstream& line, const T& value,
+                         bool& first) {
+    if (!first) line << ',';
+    first = false;
+    line << value;
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace stableshard

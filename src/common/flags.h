@@ -1,0 +1,39 @@
+// Minimal command-line flag parser for the tools and benches:
+// --name=value / --name value / --bool-flag. No global registry — callers
+// declare flags locally, which keeps tools self-documenting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stableshard {
+
+class Flags {
+ public:
+  /// Parse argv; returns false (and fills error()) on malformed input.
+  bool Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Positional (non --flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  /// Flags that were provided but never read — typo detection for tools.
+  std::vector<std::string> UnreadFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace stableshard

@@ -1,0 +1,83 @@
+// Small integer-math helpers used throughout the scheduler analysis code.
+//
+// The paper's bounds are expressed with ceil(sqrt(s)), ceil(log2 D) and
+// min{k, ceil(sqrt(s))}; these helpers compute them exactly on integers
+// (no floating-point round-off, which matters for the bound-check tests).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace stableshard {
+
+/// Exact integer ceil(sqrt(x)).
+constexpr std::uint64_t CeilSqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  std::uint64_t lo = 1, hi = x;
+  // Invariant: lo*lo might be < x; shrink to the smallest r with r*r >= x.
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (mid >= UINT32_MAX || mid * mid >= x) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+/// Exact integer floor(sqrt(x)).
+constexpr std::uint64_t FloorSqrt(std::uint64_t x) {
+  const std::uint64_t c = CeilSqrt(x);
+  return (c * c == x) ? c : c - 1;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::uint32_t FloorLog2(std::uint64_t x) {
+  SSHARD_CHECK(x >= 1);
+  std::uint32_t r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1 (0 for x == 1).
+constexpr std::uint32_t CeilLog2(std::uint64_t x) {
+  SSHARD_CHECK(x >= 1);
+  const std::uint32_t f = FloorLog2(x);
+  return ((std::uint64_t{1} << f) == x) ? f : f + 1;
+}
+
+/// ceil(a / b) for b > 0.
+constexpr std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  SSHARD_CHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// The paper's admissible-rate bound for BDS (Lemma 1 / Theorem 2):
+/// rho <= max{ 1/(18k), 1/(18*ceil(sqrt(s))) }.
+inline double BdsStableRateBound(std::uint64_t k, std::uint64_t s) {
+  SSHARD_CHECK(k >= 1 && s >= 1);
+  const double byK = 1.0 / (18.0 * static_cast<double>(k));
+  const double byS = 1.0 / (18.0 * static_cast<double>(CeilSqrt(s)));
+  return byK > byS ? byK : byS;
+}
+
+/// The absolute stability upper bound of Theorem 1:
+/// rho <= max{ 2/(k+1), 2/floor(sqrt(2s)) }.
+inline double AbsoluteStabilityUpperBound(std::uint64_t k, std::uint64_t s) {
+  SSHARD_CHECK(k >= 1 && s >= 1);
+  const double byK = 2.0 / (static_cast<double>(k) + 1.0);
+  const std::uint64_t root = FloorSqrt(2 * s);
+  const double byS = root == 0 ? 1.0 : 2.0 / static_cast<double>(root);
+  const double bound = byK > byS ? byK : byS;
+  return bound < 1.0 ? bound : 1.0;
+}
+
+/// min{k, ceil(sqrt(s))}: the factor appearing in both latency bounds.
+constexpr std::uint64_t MinKSqrtS(std::uint64_t k, std::uint64_t s) {
+  const std::uint64_t rs = CeilSqrt(s);
+  return k < rs ? k : rs;
+}
+
+}  // namespace stableshard

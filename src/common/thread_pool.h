@@ -1,0 +1,61 @@
+// Fixed-size thread pool for embarrassingly parallel experiment sweeps.
+//
+// The figure benches run dozens of independent (rho, b) simulations; each is
+// single-threaded and deterministic, so the pool only parallelizes across
+// configurations (no shared mutable state between tasks). This follows the
+// "explicit parallelism, explicit ownership" style of the HPC guides: tasks
+// capture their inputs by value and publish results through their own slot.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stableshard {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw (the simulator aborts on invariant
+  /// failure instead of throwing).
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void Wait();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Run `fn(i)` for i in [0, count) across the pool and wait.
+  template <typename Fn>
+  static void ParallelFor(std::size_t count, Fn&& fn,
+                          std::size_t threads = 0) {
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.Submit([&fn, i] { fn(i); });
+    }
+    pool.Wait();
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace stableshard

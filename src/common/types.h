@@ -1,0 +1,45 @@
+// Core identifier and scalar types shared by every StableShard subsystem.
+//
+// The paper's model (Section 3): a system of `n` nodes partitioned into `s`
+// shards S_1..S_s; a set of shared accounts (objects) O partitioned into
+// O_1..O_s, one subset owned by each shard; synchronous time measured in
+// *rounds*, where one round is the time for intra-shard PBFT consensus and
+// equals the unit of inter-shard distance.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace stableshard {
+
+/// Index of a shard, 0-based (the paper uses 1-based S_1..S_s).
+using ShardId = std::uint32_t;
+
+/// Index of a physical node inside the system (0-based, global).
+using NodeId = std::uint32_t;
+
+/// Identifier of a shared account (object). Accounts are statically
+/// partitioned across shards; see chain::AccountMap.
+using AccountId = std::uint64_t;
+
+/// Globally unique transaction identifier, assigned at injection time in
+/// strictly increasing order (doubles as the injection tiebreaker).
+using TxnId = std::uint64_t;
+
+/// Synchronous round counter. Round 0 is the first simulated round.
+using Round = std::uint64_t;
+
+/// Vertex color produced by conflict-graph coloring (Phase 2 of both
+/// schedulers). Colors are 0-based internally; the paper's "color z is
+/// processed at round 4z" maps to offset 4*color.
+using Color = std::uint32_t;
+
+/// Distance between two shards in rounds (edge weight of the clique G_s).
+using Distance = std::uint32_t;
+
+/// Sentinel values.
+inline constexpr ShardId kInvalidShard = std::numeric_limits<ShardId>::max();
+inline constexpr TxnId kInvalidTxn = std::numeric_limits<TxnId>::max();
+inline constexpr Round kNoRound = std::numeric_limits<Round>::max();
+
+}  // namespace stableshard

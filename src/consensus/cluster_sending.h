@@ -1,0 +1,53 @@
+// Broadcast-based cluster-sending protocol (Hellings & Sadoghi, FoIKS 2022),
+// as summarized in the paper's Section 3.
+//
+// To move data R from shard S1 (f1 faulty nodes) to shard S2 (f2 faulty):
+// choose A1 ⊆ S1 with |A1| = f1 + 1 and A2 ⊆ S2 with |A2| = f2 + 1; every
+// node of A1 broadcasts R to every node of A2 — (f1+1)(f2+1) node-level
+// messages. Since A1 contains at least one non-faulty node and A2 contains
+// at least one non-faulty node, at least one honest-to-honest delivery of
+// the agreed value is guaranteed; intra-shard consensus then disseminates R
+// inside S2. This justifies the "shard-to-shard message within distance(d)
+// rounds" abstraction used by net::Network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace stableshard::consensus {
+
+struct ShardFaultProfile {
+  std::uint32_t nodes = 4;   ///< n_i
+  std::uint32_t faulty = 0;  ///< f_i (must satisfy nodes > 3 * faulty)
+  /// Which node indices are faulty. If empty, nodes [0, faulty) are faulty.
+  std::vector<std::uint32_t> faulty_ids;
+
+  bool IsFaulty(std::uint32_t node) const;
+  std::vector<std::uint32_t> FaultySet() const;
+};
+
+struct ClusterSendResult {
+  bool delivered = false;        ///< >= 1 honest sender -> honest receiver
+  bool sender_confirmed = false; ///< >= 1 honest sender got honest receipt
+  std::uint64_t node_messages = 0;  ///< (f1+1) * (f2+1)
+  std::uint32_t honest_pairs = 0;   ///< honest-to-honest links used
+};
+
+/// Simulate one cluster-send of an opaque value. Faulty senders may drop or
+/// corrupt their copies (decided by `rng`), faulty receivers ignore input;
+/// the result reflects whether the *correct* value reached an honest
+/// receiver and was confirmed back (properties (1)-(3) of Section 3).
+ClusterSendResult SimulateClusterSend(const ShardFaultProfile& sender,
+                                      const ShardFaultProfile& receiver,
+                                      Rng& rng);
+
+/// Node-message cost of one shard-to-shard send under the protocol.
+constexpr std::uint64_t ClusterSendCost(std::uint32_t f_sender,
+                                        std::uint32_t f_receiver) {
+  return static_cast<std::uint64_t>(f_sender + 1) * (f_receiver + 1);
+}
+
+}  // namespace stableshard::consensus

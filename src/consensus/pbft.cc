@@ -1,0 +1,144 @@
+#include "consensus/pbft.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace stableshard::consensus {
+
+std::uint32_t PbftConfig::FaultyCount() const {
+  std::uint32_t count = 0;
+  for (const NodeBehavior b : behaviors) {
+    if (b != NodeBehavior::kHonest) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+/// Value each node claims to have received in pre-prepare. nullopt = nothing.
+using Claims = std::vector<std::optional<std::uint64_t>>;
+
+}  // namespace
+
+PbftResult RunPbft(const PbftConfig& config, std::uint64_t value,
+                   std::uint32_t initial_primary, Rng& rng) {
+  SSHARD_CHECK(config.nodes >= 1);
+  std::vector<NodeBehavior> behaviors = config.behaviors;
+  if (behaviors.empty()) {
+    behaviors.assign(config.nodes, NodeBehavior::kHonest);
+  }
+  SSHARD_CHECK(behaviors.size() == config.nodes);
+
+  PbftResult result;
+  const std::uint32_t n = config.nodes;
+  const std::uint32_t quorum = config.Quorum();
+
+  std::vector<std::optional<std::uint64_t>> decided(n);
+
+  for (std::uint32_t view = 0; view < n; ++view) {
+    const std::uint32_t primary = (initial_primary + view) % n;
+    result.views_used = view + 1;
+
+    // --- Pre-prepare: primary sends its proposal to every node. ---
+    Claims received(n);
+    ++result.phases;
+    switch (behaviors[primary]) {
+      case NodeBehavior::kHonest:
+        for (std::uint32_t i = 0; i < n; ++i) received[i] = value;
+        result.messages += n;
+        break;
+      case NodeBehavior::kSilent:
+        break;  // nobody hears anything; view change below
+      case NodeBehavior::kEquivocating:
+        // Two conflicting proposals split across the nodes.
+        for (std::uint32_t i = 0; i < n; ++i) {
+          received[i] = (rng.NextBool(0.5)) ? value : ~value;
+        }
+        result.messages += n;
+        break;
+    }
+
+    // --- Prepare: every node broadcasts the value it received. ---
+    ++result.phases;
+    // prepares[v] = how many nodes vouched for value v at each node. With a
+    // full broadcast all honest nodes observe the same multiset, so one
+    // global tally suffices; Byzantine nodes may vouch arbitrarily.
+    std::map<std::uint64_t, std::uint32_t> prepare_tally;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      switch (behaviors[i]) {
+        case NodeBehavior::kHonest:
+          if (received[i].has_value()) {
+            ++prepare_tally[*received[i]];
+            result.messages += n;
+          }
+          break;
+        case NodeBehavior::kSilent:
+          break;
+        case NodeBehavior::kEquivocating:
+          // Vouches for the wrong value to confuse the tally.
+          ++prepare_tally[~value];
+          result.messages += n;
+          break;
+      }
+    }
+
+    std::optional<std::uint64_t> prepared_value;
+    for (const auto& [v, count] : prepare_tally) {
+      if (count >= quorum) {
+        prepared_value = v;
+        break;
+      }
+    }
+
+    if (!prepared_value.has_value()) {
+      // No quorum in this view -> view change (costs one phase of
+      // view-change messages).
+      ++result.phases;
+      result.messages += static_cast<std::uint64_t>(n) * n;
+      continue;
+    }
+
+    // --- Commit: nodes that saw a prepared quorum broadcast commit. ---
+    ++result.phases;
+    std::uint32_t commits = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (behaviors[i] == NodeBehavior::kHonest) {
+        ++commits;
+        result.messages += n;
+      } else if (behaviors[i] == NodeBehavior::kEquivocating) {
+        ++commits;  // may also commit (it cannot forge the quorum proof)
+        result.messages += n;
+      }
+    }
+    if (commits >= quorum) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (behaviors[i] == NodeBehavior::kHonest) {
+          decided[i] = *prepared_value;
+        }
+      }
+      result.decided = true;
+      result.value = *prepared_value;
+      break;
+    }
+  }
+
+  // Agreement check among honest nodes.
+  result.all_honest_agree = true;
+  std::optional<std::uint64_t> honest_value;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (behaviors[i] != NodeBehavior::kHonest) continue;
+    if (!decided[i].has_value()) {
+      if (result.decided) result.all_honest_agree = false;
+      continue;
+    }
+    if (honest_value.has_value() && *honest_value != *decided[i]) {
+      result.all_honest_agree = false;
+    }
+    honest_value = decided[i];
+  }
+  return result;
+}
+
+}  // namespace stableshard::consensus

@@ -1,0 +1,66 @@
+// Message-level PBFT simulation for a single shard.
+//
+// The paper abstracts intra-shard agreement as "one round = the time to run
+// PBFT [Castro & Liskov] within a shard" and requires n_i > 3 f_i. This
+// module builds that substrate explicitly: it simulates the pre-prepare /
+// prepare / commit message exchange among the shard's nodes, with injectable
+// Byzantine behaviours, and reports whether all honest nodes decide the same
+// value plus the message complexity. Tests validate the n > 3f safety
+// boundary that the round abstraction in src/core relies on.
+//
+// Scope note: this is a synchronous, single-instance simulation (one
+// consensus decision per call, view changes modelled by primary rotation on
+// failure). It is a validation substrate, not a networked BFT engine — the
+// schedulers consume only the "one round per decision" abstraction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace stableshard::consensus {
+
+enum class NodeBehavior : std::uint8_t {
+  kHonest,
+  kSilent,        ///< crashed / mute: sends nothing
+  kEquivocating,  ///< sends conflicting values to different peers
+};
+
+struct PbftConfig {
+  std::uint32_t nodes = 4;  ///< n_i, nodes in the shard
+  /// Per-node behaviour; size must equal `nodes`. Defaults to all honest.
+  std::vector<NodeBehavior> behaviors;
+
+  std::uint32_t FaultyCount() const;
+  /// Max faults tolerated: floor((n - 1) / 3).
+  std::uint32_t ToleratedFaults() const { return (nodes - 1) / 3; }
+  /// Quorum size: 2f_tolerated + 1.
+  std::uint32_t Quorum() const { return 2 * ToleratedFaults() + 1; }
+};
+
+struct PbftResult {
+  bool decided = false;             ///< all honest nodes decided
+  std::uint64_t value = 0;          ///< the decided value (if decided)
+  bool all_honest_agree = false;    ///< no two honest nodes decided different
+  std::uint32_t views_used = 1;     ///< 1 + number of view changes
+  std::uint64_t messages = 0;       ///< total protocol messages simulated
+  std::uint32_t phases = 0;         ///< message phases consumed
+};
+
+/// Run one PBFT instance proposing `value` with primary `initial_primary`.
+/// Equivocating primaries propose per-destination values derived from `rng`.
+/// View changes rotate the primary until an honest one drives a decision or
+/// every view has been tried.
+PbftResult RunPbft(const PbftConfig& config, std::uint64_t value,
+                   std::uint32_t initial_primary, Rng& rng);
+
+/// Convenience: can a shard with `nodes` nodes and `faulty` Byzantine nodes
+/// guarantee agreement? (the n > 3f condition of Section 3).
+constexpr bool SatisfiesBftBound(std::uint32_t nodes, std::uint32_t faulty) {
+  return nodes > 3 * faulty;
+}
+
+}  // namespace stableshard::consensus

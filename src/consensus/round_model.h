@@ -1,0 +1,36 @@
+// The round abstraction contract between src/consensus and src/core.
+//
+// Section 3 of the paper defines a *round* as the time needed to (a) reach
+// PBFT consensus within a shard and (b) deliver + agree on one cluster-send
+// between shards at unit distance. src/core schedulers operate purely in
+// rounds; this header documents and encodes the node-level budget that one
+// round is assumed to cover, so integration tests can assert that the
+// consensus substrate fits within it.
+#pragma once
+
+#include <cstdint>
+
+#include "consensus/cluster_sending.h"
+#include "consensus/pbft.h"
+
+namespace stableshard::consensus {
+
+/// Node-message budget of one logical round for a shard of n nodes with f
+/// tolerated faults: one PBFT instance (3 all-to-all phases led by an
+/// honest primary) plus one worst-case cluster-send.
+constexpr std::uint64_t RoundMessageBudget(std::uint32_t nodes,
+                                           std::uint32_t faulty_here,
+                                           std::uint32_t faulty_peer) {
+  const std::uint64_t pbft =
+      static_cast<std::uint64_t>(nodes) * nodes * 3;  // 3 broadcast phases
+  return pbft + ClusterSendCost(faulty_here, faulty_peer);
+}
+
+/// A round suffices iff the shard satisfies the BFT bound; with an honest
+/// primary PBFT needs exactly one view (validated in consensus tests).
+constexpr bool RoundAbstractionHolds(std::uint32_t nodes,
+                                     std::uint32_t faulty) {
+  return SatisfiesBftBound(nodes, faulty);
+}
+
+}  // namespace stableshard::consensus

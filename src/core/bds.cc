@@ -1,0 +1,227 @@
+#include "core/bds.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace stableshard::core {
+
+BdsScheduler::BdsScheduler(const net::ShardMetric& metric,
+                           CommitLedger& ledger, const BdsConfig& config)
+    : metric_(&metric),
+      ledger_(&ledger),
+      config_(config),
+      network_(metric),
+      pending_(metric.shard_count()),
+      dest_pending_(metric.shard_count()) {
+  // BDS is specified for the uniform model: Phase offsets assume
+  // unit-distance delivery everywhere.
+  for (ShardId a = 0; a < metric.shard_count(); ++a) {
+    for (ShardId b = a + 1; b < metric.shard_count(); ++b) {
+      SSHARD_CHECK(metric.distance(a, b) == 1 &&
+                   "BDS requires the uniform communication model");
+    }
+  }
+}
+
+void BdsScheduler::Inject(const txn::Transaction& txn) {
+  SSHARD_CHECK(txn.home() < pending_.size());
+  pending_[txn.home()].push_back(txn);
+}
+
+std::uint64_t BdsScheduler::pending_in_queues() const {
+  std::uint64_t total = 0;
+  for (const auto& queue : pending_) total += queue.size();
+  return total;
+}
+
+bool BdsScheduler::Idle() const {
+  if (network_.HasPending() || !in_epoch_.empty() || !leader_inbox_.empty()) {
+    return false;
+  }
+  return pending_in_queues() == 0;
+}
+
+void BdsScheduler::StartEpoch(Round round) {
+  epoch_start_ = round;
+  epoch_end_ = kNoRound;
+  num_colors_ = 0;
+  leader_ = config_.rotate_leader
+                ? static_cast<ShardId>(epoch_index_ % metric_->shard_count())
+                : 0;
+  SSHARD_CHECK(in_epoch_.empty() && "previous epoch left unresolved txns");
+  by_color_.clear();
+
+  // Phase 1: every home shard ships its whole pending queue to the leader.
+  for (ShardId home = 0; home < pending_.size(); ++home) {
+    auto& queue = pending_[home];
+    if (queue.empty()) continue;
+    TxnBatchMsg batch;
+    batch.epoch = epoch_index_;
+    batch.txns.reserve(queue.size());
+    while (!queue.empty()) {
+      txn::Transaction txn = std::move(queue.front());
+      queue.pop_front();
+      InFlightTxn in_flight;
+      in_flight.txn = txn;
+      in_epoch_.emplace(txn.id(), std::move(in_flight));
+      ++in_epoch_unresolved_;
+      batch.txns.push_back(std::move(txn));
+    }
+    const std::uint64_t units = batch.txns.size();
+    network_.Send(home, leader_, round, Message{std::move(batch)}, units);
+  }
+}
+
+void BdsScheduler::LeaderColorAndReply(Round round) {
+  // Phase 2: color the shard-granularity conflict graph with <= Delta+1
+  // colors and return the assignment; the color count fixes the epoch end.
+  std::vector<const txn::Transaction*> view;
+  view.reserve(leader_inbox_.size());
+  for (const auto& txn : leader_inbox_) view.push_back(&txn);
+  const txn::ColoringResult coloring =
+      ColorShardCliques(view, config_.coloring);
+  SSHARD_DCHECK(IsProperShardColoring(view, coloring.color));
+
+  num_colors_ = coloring.num_colors;
+  epoch_end_ = epoch_start_ + 2 + 4ull * num_colors_;
+  max_epoch_length_ = std::max(max_epoch_length_, epoch_end_ - epoch_start_);
+  by_color_.assign(num_colors_, {});
+
+  // Group assignments by home shard and reply; also broadcast the plan so
+  // every shard knows the epoch length.
+  std::vector<ColorAssignMsg> per_home(metric_->shard_count());
+  for (std::size_t v = 0; v < view.size(); ++v) {
+    per_home[view[v]->home()].colors.emplace_back(view[v]->id(),
+                                                  coloring.color[v]);
+    by_color_[coloring.color[v]].push_back(view[v]->id());
+  }
+  for (ShardId home = 0; home < per_home.size(); ++home) {
+    if (per_home[home].colors.empty()) continue;
+    per_home[home].epoch = epoch_index_;
+    const std::uint64_t units = per_home[home].colors.size();
+    network_.Send(leader_, home, round, Message{std::move(per_home[home])},
+                  units);
+  }
+  for (ShardId shard = 0; shard < metric_->shard_count(); ++shard) {
+    EpochPlanMsg plan;
+    plan.epoch = epoch_index_;
+    plan.num_colors = num_colors_;
+    network_.Send(leader_, shard, round, Message{plan});
+  }
+  leader_inbox_.clear();
+}
+
+void BdsScheduler::SendSubTxnsForColor(Round round, Color color) {
+  // Phase 3, per-color round 1: home shards split color-`color` transactions
+  // into subtransactions and send them to the destination shards.
+  for (const TxnId id : by_color_[color]) {
+    const auto it = in_epoch_.find(id);
+    SSHARD_CHECK(it != in_epoch_.end());
+    const txn::Transaction& txn = it->second.txn;
+    for (const txn::SubTransaction& sub : txn.subs()) {
+      SubTxnMsg msg;
+      msg.txn = id;
+      msg.coordinator = txn.home();
+      msg.height = Height{0, 0, 0, color, id};
+      msg.sub = sub;
+      network_.Send(txn.home(), sub.destination, round, Message{std::move(msg)});
+    }
+  }
+}
+
+void BdsScheduler::HandleDeliveries(Round round) {
+  for (auto& envelope : network_.Deliver(round)) {
+    Message& message = envelope.payload;
+    if (auto* batch = std::get_if<TxnBatchMsg>(&message)) {
+      // Phase 1 arrival at the leader.
+      SSHARD_CHECK(envelope.to == leader_);
+      for (auto& txn : batch->txns) leader_inbox_.push_back(std::move(txn));
+    } else if (std::get_if<ColorAssignMsg>(&message) != nullptr ||
+               std::get_if<EpochPlanMsg>(&message) != nullptr) {
+      // Color assignments / epoch plan: the grouping into by_color_ was
+      // already recorded when the leader computed it (the message models
+      // the communication; its content is identical).
+    } else if (auto* sub_msg = std::get_if<SubTxnMsg>(&message)) {
+      // Phase 3 round 2: destination evaluates and votes.
+      const ShardId dest = envelope.to;
+      const bool vote = ledger_->EvaluateSub(sub_msg->sub);
+      dest_pending_[dest].emplace(sub_msg->txn, sub_msg->sub);
+      VoteMsg vote_msg;
+      vote_msg.txn = sub_msg->txn;
+      vote_msg.dest = dest;
+      vote_msg.commit = vote;
+      network_.Send(dest, sub_msg->coordinator, round, Message{vote_msg});
+    } else if (auto* vote_msg = std::get_if<VoteMsg>(&message)) {
+      // Phase 3 round 3: home shard collects votes and confirms.
+      auto it = in_epoch_.find(vote_msg->txn);
+      SSHARD_CHECK(it != in_epoch_.end());
+      InFlightTxn& in_flight = it->second;
+      if (vote_msg->commit) {
+        ++in_flight.commit_votes;
+      } else {
+        ++in_flight.abort_votes;
+      }
+      const auto expected =
+          static_cast<std::uint32_t>(in_flight.txn.subs().size());
+      if (!in_flight.confirmed &&
+          in_flight.commit_votes + in_flight.abort_votes == expected) {
+        in_flight.confirmed = true;
+        const bool commit = in_flight.abort_votes == 0;
+        for (const txn::SubTransaction& sub : in_flight.txn.subs()) {
+          ConfirmMsg confirm;
+          confirm.txn = vote_msg->txn;
+          confirm.commit = commit;
+          network_.Send(in_flight.txn.home(), sub.destination, round,
+                        Message{confirm});
+        }
+      }
+    } else if (auto* confirm = std::get_if<ConfirmMsg>(&message)) {
+      // Phase 3 round 4: destination commits/aborts and clears state.
+      const ShardId dest = envelope.to;
+      auto it = dest_pending_[dest].find(confirm->txn);
+      SSHARD_CHECK(it != dest_pending_[dest].end());
+      const bool resolved =
+          ledger_->ApplyConfirm(confirm->txn, it->second, confirm->commit,
+                                round);
+      dest_pending_[dest].erase(it);
+      if (resolved) {
+        in_epoch_.erase(confirm->txn);
+        --in_epoch_unresolved_;
+      }
+    } else {
+      SSHARD_CHECK(false && "unexpected message type in BDS");
+    }
+  }
+}
+
+void BdsScheduler::Step(Round round) {
+  HandleDeliveries(round);
+
+  // Epoch transition: the epoch ends exactly at epoch_start + 2 + 4*colors
+  // (all color-commit confirms arrived in the previous round).
+  if (round == 0) {
+    StartEpoch(round);
+  } else if (epoch_end_ != kNoRound && round == epoch_end_) {
+    SSHARD_CHECK(in_epoch_.empty() &&
+                 "epoch ended with unresolved transactions");
+    ++epoch_index_;
+    StartEpoch(round);
+  }
+
+  if (round == epoch_start_ + 1) {
+    LeaderColorAndReply(round);
+    return;
+  }
+
+  if (epoch_end_ != kNoRound && round >= epoch_start_ + 2 &&
+      round < epoch_end_) {
+    const Round offset = round - epoch_start_ - 2;
+    if (offset % 4 == 0) {
+      const Color color = static_cast<Color>(offset / 4);
+      if (color < num_colors_) SendSubTxnsForColor(round, color);
+    }
+  }
+}
+
+}  // namespace stableshard::core

@@ -1,0 +1,84 @@
+#include "core/commit_ledger.h"
+
+#include "common/check.h"
+
+namespace stableshard::core {
+
+CommitLedger::CommitLedger(const chain::AccountMap& map,
+                           chain::Balance initial_balance)
+    : map_(&map), last_commit_round_(map.shard_count(), kNoRound) {
+  stores_.reserve(map.shard_count());
+  chains_.reserve(map.shard_count());
+  for (ShardId shard = 0; shard < map.shard_count(); ++shard) {
+    stores_.emplace_back(initial_balance);
+    chains_.emplace_back(shard);
+  }
+}
+
+void CommitLedger::RegisterInjection(const txn::Transaction& txn) {
+  TxnRecord record;
+  record.injected = txn.injected();
+  record.remaining = static_cast<std::uint32_t>(txn.subs().size());
+  const auto [it, inserted] = records_.emplace(txn.id(), record);
+  (void)it;
+  SSHARD_CHECK(inserted && "transaction registered twice");
+  ++registered_;
+}
+
+bool CommitLedger::EvaluateSub(const txn::SubTransaction& sub) const {
+  SSHARD_DCHECK(sub.destination < stores_.size());
+  const chain::AccountStore& store = stores_[sub.destination];
+  for (const chain::Condition& condition : sub.conditions) {
+    SSHARD_DCHECK(map_->OwnerOf(condition.account) == sub.destination);
+    if (!store.Check(condition)) return false;
+  }
+  for (const chain::Action& action : sub.actions) {
+    SSHARD_DCHECK(map_->OwnerOf(action.account) == sub.destination);
+    if (!store.IsValid(action)) return false;
+  }
+  return true;
+}
+
+bool CommitLedger::ApplyConfirm(TxnId txn, const txn::SubTransaction& sub,
+                                bool commit, Round round) {
+  auto it = records_.find(txn);
+  SSHARD_CHECK(it != records_.end() && "confirm for unregistered txn");
+  TxnRecord& record = it->second;
+  SSHARD_CHECK(record.remaining > 0 && "confirm after txn resolved");
+
+  if (commit) {
+    // Unit shard capacity: one committed subtransaction per shard per round.
+    SSHARD_CHECK(last_commit_round_[sub.destination] != round &&
+                 "two commits on one shard in one round");
+    last_commit_round_[sub.destination] = round;
+    // The pin discipline means the vote-time evaluation still holds.
+    SSHARD_CHECK(EvaluateSub(sub) && "commit applied to stale state");
+    chain::AccountStore& store = stores_[sub.destination];
+    for (const chain::Action& action : sub.actions) {
+      store.Apply(action);
+    }
+    chains_[sub.destination].Append(txn, round, sub.Digest());
+  } else {
+    record.any_abort = true;
+  }
+
+  if (--record.remaining > 0) return false;
+
+  // Whole transaction resolved.
+  ++resolved_;
+  if (record.any_abort) {
+    ++aborted_txns_;
+  } else {
+    ++committed_txns_;
+  }
+  latency_.Record(record.injected, round, !record.any_abort);
+  return true;
+}
+
+bool CommitLedger::IsResolved(TxnId txn) const {
+  const auto it = records_.find(txn);
+  if (it == records_.end()) return false;
+  return it->second.remaining == 0;
+}
+
+}  // namespace stableshard::core

@@ -1,0 +1,84 @@
+// Commit bookkeeping shared by all schedulers.
+//
+// The CommitLedger owns the per-shard account stores and local blockchains,
+// evaluates subtransaction votes, applies confirmed commits, tracks
+// per-transaction resolution (a transaction resolves when its last
+// subtransaction commits or aborts everywhere), and enforces the model's
+// safety invariants at runtime:
+//   * unit shard capacity  — at most one subtransaction commit per shard
+//     per round (Section 3: "exactly one subtransaction can be processed in
+//     each shard" per round);
+//   * vote consistency     — a commit is only applied if the condition and
+//     validity checks still hold (the schedulers' pin discipline guarantees
+//     they do; a violation aborts the simulation).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/account_map.h"
+#include "chain/account_store.h"
+#include "chain/local_chain.h"
+#include "common/types.h"
+#include "stats/latency_recorder.h"
+#include "txn/transaction.h"
+
+namespace stableshard::core {
+
+class CommitLedger {
+ public:
+  CommitLedger(const chain::AccountMap& map, chain::Balance initial_balance);
+
+  /// Register a newly injected transaction (latency clock starts; expected
+  /// subtransaction count recorded).
+  void RegisterInjection(const txn::Transaction& txn);
+
+  /// Vote decision for a subtransaction on its destination shard's current
+  /// state: all conditions hold and all actions are valid.
+  bool EvaluateSub(const txn::SubTransaction& sub) const;
+
+  /// Apply the coordinator's decision for one subtransaction at `round`.
+  /// On commit: re-checks EvaluateSub (scheduler pin bug otherwise), applies
+  /// the actions and appends a block to the destination's local chain.
+  /// Returns true if the whole transaction became resolved by this call.
+  bool ApplyConfirm(TxnId txn, const txn::SubTransaction& sub, bool commit,
+                    Round round);
+
+  bool IsResolved(TxnId txn) const;
+
+  /// Transactions injected but not yet fully resolved.
+  std::uint64_t pending() const { return registered_ - resolved_; }
+  std::uint64_t registered() const { return registered_; }
+  std::uint64_t resolved() const { return resolved_; }
+  std::uint64_t committed_txns() const { return committed_txns_; }
+  std::uint64_t aborted_txns() const { return aborted_txns_; }
+
+  const stats::LatencyRecorder& latency() const { return latency_; }
+  const std::vector<chain::LocalChain>& chains() const { return chains_; }
+  const chain::AccountStore& store(ShardId shard) const {
+    return stores_[shard];
+  }
+  chain::AccountStore& mutable_store(ShardId shard) { return stores_[shard]; }
+  const chain::AccountMap& account_map() const { return *map_; }
+
+ private:
+  struct TxnRecord {
+    Round injected = 0;
+    std::uint32_t remaining = 0;  ///< unresolved subtransactions
+    bool any_abort = false;
+  };
+
+  const chain::AccountMap* map_;
+  std::vector<chain::AccountStore> stores_;   // one per shard
+  std::vector<chain::LocalChain> chains_;     // one per shard
+  std::vector<Round> last_commit_round_;      // unit-capacity enforcement
+  std::unordered_map<TxnId, TxnRecord> records_;
+  stats::LatencyRecorder latency_;
+  std::uint64_t registered_ = 0;
+  std::uint64_t resolved_ = 0;
+  std::uint64_t committed_txns_ = 0;
+  std::uint64_t aborted_txns_ = 0;
+};
+
+}  // namespace stableshard::core

@@ -1,0 +1,44 @@
+#include "core/config.h"
+
+#include <sstream>
+
+namespace stableshard::core {
+
+const char* ToString(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kBds:
+      return "bds";
+    case SchedulerKind::kFds:
+      return "fds";
+    case SchedulerKind::kDirect:
+      return "direct";
+  }
+  return "?";
+}
+
+const char* ToString(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kUniformRandom:
+      return "uniform_random";
+    case StrategyKind::kHotspot:
+      return "hotspot";
+    case StrategyKind::kPairwiseConflict:
+      return "pairwise_conflict";
+    case StrategyKind::kLocal:
+      return "local";
+    case StrategyKind::kSingleShard:
+      return "single_shard";
+  }
+  return "?";
+}
+
+std::string SimConfig::Describe() const {
+  std::ostringstream os;
+  os << ToString(scheduler) << " s=" << shards << " k=" << k
+     << " topo=" << net::TopologyName(topology) << " rho=" << rho
+     << " b=" << burstiness << " strat=" << ToString(strategy)
+     << " rounds=" << rounds << " seed=" << seed;
+  return os.str();
+}
+
+}  // namespace stableshard::core

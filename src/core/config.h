@@ -1,0 +1,97 @@
+// Simulation configuration: one struct describing a full experiment run.
+//
+// The defaults reproduce the paper's Section 7 setup: s = 64 shards,
+// 64 accounts (one per shard), k = 8, 25000 rounds, uniform-random
+// transactions with a single burst.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chain/ops.h"
+#include "common/types.h"
+#include "net/topology_factory.h"
+#include "txn/coloring.h"
+
+namespace stableshard::core {
+
+enum class SchedulerKind : std::uint8_t { kBds, kFds, kDirect };
+enum class StrategyKind : std::uint8_t {
+  kUniformRandom,
+  kHotspot,
+  kPairwiseConflict,
+  kLocal,
+  kSingleShard,
+};
+enum class HierarchyKind : std::uint8_t { kLineShifted, kSparseCover };
+enum class AccountAssignment : std::uint8_t { kRoundRobin, kRandom };
+
+const char* ToString(SchedulerKind kind);
+const char* ToString(StrategyKind kind);
+
+struct SimConfig {
+  // System (paper Section 7 defaults).
+  ShardId shards = 64;
+  AccountId accounts = 64;
+  std::uint32_t k = 8;  ///< max shards accessed per transaction
+  net::TopologyKind topology = net::TopologyKind::kUniform;
+  AccountAssignment account_assignment = AccountAssignment::kRandom;
+  chain::Balance initial_balance = 1'000'000;
+
+  // Adversary.
+  double rho = 0.10;
+  double burstiness = 1000;
+  Round burst_round = 0;        ///< kNoRound disables the burst
+  StrategyKind strategy = StrategyKind::kUniformRandom;
+  double abort_probability = 0.0;
+  Distance local_radius = 4;    ///< kLocal strategy only
+
+  // Scheduler.
+  SchedulerKind scheduler = SchedulerKind::kBds;
+  txn::ColoringAlgorithm coloring = txn::ColoringAlgorithm::kGreedy;
+  HierarchyKind hierarchy = HierarchyKind::kLineShifted;
+  bool fds_reschedule = true;
+  /// Pipelined = the paper's Algorithm 2b (one vote per destination per
+  /// round); disable for workloads whose votes depend on other
+  /// transactions' effects (see core/commit_protocol.h).
+  bool fds_pipelined = true;
+  bool bds_rotate_leader = true;
+
+  // Run control.
+  Round rounds = 25000;
+  std::uint64_t seed = 42;
+  /// After `rounds`, keep stepping (without injection) until the scheduler
+  /// drains or `drain_cap` extra rounds elapse (0 = no drain phase).
+  Round drain_cap = 0;
+
+  /// Human-readable one-line description (benchmark output).
+  std::string Describe() const;
+};
+
+/// Aggregated outcome of one simulation run.
+struct SimResult {
+  // Figure metrics.
+  double avg_pending_per_shard = 0;  ///< mean over rounds of pending / s
+  double avg_latency = 0;            ///< mean commit/abort delay (rounds)
+  double max_latency = 0;
+  double p50_latency = 0;
+  double p99_latency = 0;
+  double avg_leader_queue = 0;  ///< FDS: mean sch_ldr per active cluster
+
+  // Volume.
+  std::uint64_t injected = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t unresolved = 0;  ///< still pending at the end
+  std::uint64_t max_pending = 0;
+
+  // Cost.
+  std::uint64_t messages = 0;
+  std::uint64_t payload_units = 0;
+
+  // Run facts.
+  Round rounds_executed = 0;
+  bool drained = false;  ///< drain phase reached Idle()
+};
+
+}  // namespace stableshard::core

@@ -1,0 +1,43 @@
+#include "core/direct.h"
+
+#include "common/check.h"
+
+namespace stableshard::core {
+
+DirectScheduler::DirectScheduler(const net::ShardMetric& metric,
+                                 CommitLedger& ledger)
+    : ledger_(&ledger),
+      network_(metric),
+      protocol_(network_, ledger, /*on_decided=*/nullptr) {}
+
+void DirectScheduler::Inject(const txn::Transaction& txn) {
+  inject_buffer_.push_back(txn);
+}
+
+void DirectScheduler::Step(Round round) {
+  for (auto& envelope : network_.Deliver(round)) {
+    const bool handled =
+        protocol_.HandleMessage(envelope.to, envelope.payload, round);
+    SSHARD_CHECK(handled && "unexpected message type in Direct");
+  }
+
+  // Ship this round's injections straight to the destinations, ordered by
+  // injection id (heights use only the txn id, a total order).
+  for (const txn::Transaction& txn : inject_buffer_) {
+    protocol_.Coordinate(txn, 0);
+    const Height height{0, 0, 0, 0, txn.id()};
+    for (const txn::SubTransaction& sub : txn.subs()) {
+      protocol_.SendSubTxn(txn.home(), txn, sub, height, 0, round,
+                           /*update=*/false);
+    }
+  }
+  inject_buffer_.clear();
+
+  protocol_.IssueVotes(round);
+}
+
+bool DirectScheduler::Idle() const {
+  return inject_buffer_.empty() && !network_.HasPending() && protocol_.Idle();
+}
+
+}  // namespace stableshard::core

@@ -1,0 +1,51 @@
+// Direct scheduler — the uncoordinated baseline.
+//
+// No epochs, no leader, no coloring: the home shard of each transaction
+// immediately ships the subtransactions to their destination shards, where
+// they queue in global transaction-id order (a total order, so all shards
+// serialize conflicting transactions identically) and commit through the
+// same vote/confirm protocol as FDS, coordinated by the home shard.
+//
+// This is the natural "do nothing clever" comparator for both algorithms:
+// it has minimal scheduling latency at low load, but under conflicts every
+// transaction pays a full vote round-trip per queue position instead of
+// committing color-parallel batches, and under bursts the id-ordered queue
+// is oblivious to the conflict structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/commit_ledger.h"
+#include "core/commit_protocol.h"
+#include "core/messages.h"
+#include "core/scheduler.h"
+#include "net/metric.h"
+#include "net/network.h"
+
+namespace stableshard::core {
+
+class DirectScheduler final : public Scheduler {
+ public:
+  DirectScheduler(const net::ShardMetric& metric, CommitLedger& ledger);
+
+  void Inject(const txn::Transaction& txn) override;
+  void Step(Round round) override;
+  bool Idle() const override;
+  std::uint64_t MessagesSent() const override {
+    return network_.stats().messages_sent;
+  }
+  std::uint64_t PayloadUnits() const override {
+    return network_.stats().payload_units;
+  }
+  const char* name() const override { return "direct"; }
+
+ private:
+  CommitLedger* ledger_;
+  net::Network<Message> network_;
+  CommitProtocol protocol_;
+  std::vector<txn::Transaction> inject_buffer_;
+};
+
+}  // namespace stableshard::core

@@ -1,0 +1,165 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "adversary/strategy.h"
+#include "common/check.h"
+#include "core/bds.h"
+#include "core/direct.h"
+#include "core/fds.h"
+
+namespace stableshard::core {
+
+Simulation::Simulation(const SimConfig& config)
+    : config_(config), rng_(config.seed) {
+  SSHARD_CHECK(config.shards >= 1);
+  SSHARD_CHECK(config.accounts >= 1);
+  SSHARD_CHECK(config.k >= 1);
+  SSHARD_CHECK(config.rho > 0.0 && config.rho <= 1.0);
+  SSHARD_CHECK(config.burstiness > 0.0);
+
+  metric_ = net::MakeMetric(config.topology, config.shards, &rng_);
+
+  switch (config.account_assignment) {
+    case AccountAssignment::kRoundRobin:
+      accounts_ = std::make_unique<chain::AccountMap>(
+          chain::AccountMap::RoundRobin(config.shards, config.accounts));
+      break;
+    case AccountAssignment::kRandom:
+      accounts_ = std::make_unique<chain::AccountMap>(
+          chain::AccountMap::Random(config.shards, config.accounts, rng_));
+      break;
+  }
+
+  ledger_ = std::make_unique<CommitLedger>(*accounts_,
+                                           config.initial_balance);
+
+  adversary::AdversaryConfig adversary_config;
+  adversary_config.rho = config.rho;
+  adversary_config.burstiness = config.burstiness;
+  adversary_config.burst_round = config.burst_round;
+  adversary_config.seed = Mix64(config.seed ^ 0xada5a77e5eedULL);
+  adversary_ = std::make_unique<adversary::Adversary>(
+      adversary_config, *accounts_, MakeStrategy());
+
+  switch (config.scheduler) {
+    case SchedulerKind::kBds: {
+      BdsConfig bds;
+      bds.coloring = config.coloring;
+      bds.rotate_leader = config.bds_rotate_leader;
+      scheduler_ = std::make_unique<BdsScheduler>(*metric_, *ledger_, bds);
+      break;
+    }
+    case SchedulerKind::kFds: {
+      hierarchy_ = std::make_unique<cluster::Hierarchy>(
+          config.hierarchy == HierarchyKind::kLineShifted
+              ? cluster::Hierarchy::BuildLineShifted(*metric_)
+              : cluster::Hierarchy::BuildSparseCover(*metric_));
+      FdsConfig fds;
+      fds.coloring = config.coloring;
+      fds.reschedule = config.fds_reschedule;
+      fds.commit_mode = config.fds_pipelined ? CommitMode::kPipelined
+                                             : CommitMode::kPinned;
+      scheduler_ = std::make_unique<FdsScheduler>(*metric_, *hierarchy_,
+                                                  *ledger_, fds);
+      break;
+    }
+    case SchedulerKind::kDirect:
+      scheduler_ = std::make_unique<DirectScheduler>(*metric_, *ledger_);
+      break;
+  }
+}
+
+Simulation::~Simulation() = default;
+
+std::unique_ptr<adversary::Strategy> Simulation::MakeStrategy() {
+  adversary::RandomStrategyOptions options;
+  options.max_shards_per_txn = config_.k;
+  options.abort_probability = config_.abort_probability;
+  switch (config_.strategy) {
+    case StrategyKind::kUniformRandom:
+      return std::make_unique<adversary::UniformRandomStrategy>(*accounts_,
+                                                                options);
+    case StrategyKind::kHotspot:
+      return std::make_unique<adversary::HotspotStrategy>(*accounts_,
+                                                          /*hotspot=*/0,
+                                                          options);
+    case StrategyKind::kPairwiseConflict:
+      return std::make_unique<adversary::PairwiseConflictStrategy>(*accounts_,
+                                                                   config_.k);
+    case StrategyKind::kLocal:
+      return std::make_unique<adversary::LocalStrategy>(
+          *accounts_, *metric_, config_.local_radius, options);
+    case StrategyKind::kSingleShard:
+      return std::make_unique<adversary::SingleShardStrategy>(*accounts_);
+  }
+  SSHARD_CHECK(false && "unknown strategy kind");
+  return nullptr;
+}
+
+SimResult Simulation::Run() {
+  SSHARD_CHECK(!ran_ && "Simulation::Run may be called once");
+  ran_ = true;
+  if (series_window_ > 0) {
+    pending_series_ = std::make_unique<stats::TimeSeries>(series_window_);
+  }
+
+  stats::RunningStats pending_per_round;
+  stats::RunningStats leader_queue_per_round;
+  std::uint64_t max_pending = 0;
+
+  for (Round round = 0; round < config_.rounds; ++round) {
+    for (txn::Transaction& txn : adversary_->GenerateRound(round)) {
+      ledger_->RegisterInjection(txn);
+      scheduler_->Inject(txn);
+    }
+    scheduler_->Step(round);
+
+    const std::uint64_t pending = ledger_->pending();
+    max_pending = std::max(max_pending, pending);
+    pending_per_round.Add(static_cast<double>(pending) /
+                          static_cast<double>(config_.shards));
+    leader_queue_per_round.Add(scheduler_->LeaderQueueMean());
+    if (pending_series_) {
+      pending_series_->Record(round, static_cast<double>(pending));
+    }
+  }
+
+  if (pending_series_) pending_series_->Finish();
+
+  Round round = config_.rounds;
+  bool drained = false;
+  if (config_.drain_cap > 0) {
+    const Round limit = config_.rounds + config_.drain_cap;
+    while (round < limit) {
+      if (scheduler_->Idle()) {
+        drained = true;
+        break;
+      }
+      scheduler_->Step(round);
+      ++round;
+    }
+    if (!drained) drained = scheduler_->Idle();
+  }
+
+  SimResult result;
+  result.avg_pending_per_shard = pending_per_round.mean();
+  result.avg_leader_queue = leader_queue_per_round.mean();
+  const stats::LatencyRecorder& latency = ledger_->latency();
+  result.avg_latency = latency.average_latency();
+  result.max_latency = latency.max_latency();
+  result.p50_latency = latency.p50_latency();
+  result.p99_latency = latency.p99_latency();
+  result.injected = ledger_->registered();
+  result.committed = ledger_->committed_txns();
+  result.aborted = ledger_->aborted_txns();
+  result.unresolved = ledger_->pending();
+  result.max_pending = max_pending;
+  result.messages = scheduler_->MessagesSent();
+  result.payload_units = scheduler_->PayloadUnits();
+  result.rounds_executed = round;
+  result.drained = drained;
+  return result;
+}
+
+}  // namespace stableshard::core

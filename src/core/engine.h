@@ -1,0 +1,72 @@
+// Simulation engine: wires topology, accounts, adversary, scheduler and
+// ledger together and runs the synchronous round loop.
+//
+// Round structure (Section 3's synchronous model):
+//   1. the adversary generates this round's transactions (subject to the
+//      (rho, b) token buckets);
+//   2. each is registered with the ledger and injected at its home shard;
+//   3. the scheduler executes one round (deliver messages, phase logic,
+//      sends);
+//   4. metrics are sampled (pending transactions, leader queues).
+#pragma once
+
+#include <memory>
+
+#include "adversary/adversary.h"
+#include "chain/account_map.h"
+#include "cluster/hierarchy.h"
+#include "common/rng.h"
+#include "core/commit_ledger.h"
+#include "core/config.h"
+#include "core/scheduler.h"
+#include "net/metric.h"
+#include "stats/running_stats.h"
+#include "stats/time_series.h"
+
+namespace stableshard::core {
+
+class Simulation {
+ public:
+  explicit Simulation(const SimConfig& config);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Run the configured number of rounds (plus optional drain phase) and
+  /// return the aggregated result. May be called once.
+  SimResult Run();
+
+  /// Component access for tests and examples.
+  const SimConfig& config() const { return config_; }
+  const net::ShardMetric& metric() const { return *metric_; }
+  const chain::AccountMap& accounts() const { return *accounts_; }
+  const CommitLedger& ledger() const { return *ledger_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  const adversary::Adversary& adversary() const { return *adversary_; }
+  const cluster::Hierarchy* hierarchy() const { return hierarchy_.get(); }
+
+  /// Per-round pending-count time series (window-averaged), populated by
+  /// Run() when `record_series` is enabled.
+  void EnableSeries(Round window) { series_window_ = window; }
+  const stats::TimeSeries* pending_series() const {
+    return pending_series_.get();
+  }
+
+ private:
+  std::unique_ptr<adversary::Strategy> MakeStrategy();
+
+  SimConfig config_;
+  Rng rng_;
+  std::unique_ptr<net::ShardMetric> metric_;
+  std::unique_ptr<chain::AccountMap> accounts_;
+  std::unique_ptr<CommitLedger> ledger_;
+  std::unique_ptr<cluster::Hierarchy> hierarchy_;
+  std::unique_ptr<adversary::Adversary> adversary_;
+  std::unique_ptr<Scheduler> scheduler_;
+  Round series_window_ = 0;
+  std::unique_ptr<stats::TimeSeries> pending_series_;
+  bool ran_ = false;
+};
+
+}  // namespace stableshard::core

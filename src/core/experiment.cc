@@ -1,0 +1,21 @@
+#include "core/experiment.h"
+
+#include "common/thread_pool.h"
+
+namespace stableshard::core {
+
+std::vector<ExperimentRun> RunSweep(const std::vector<SimConfig>& configs,
+                                    std::size_t threads) {
+  std::vector<ExperimentRun> runs(configs.size());
+  ThreadPool::ParallelFor(
+      configs.size(),
+      [&](std::size_t i) {
+        runs[i].config = configs[i];
+        Simulation simulation(configs[i]);
+        runs[i].result = simulation.Run();
+      },
+      threads);
+  return runs;
+}
+
+}  // namespace stableshard::core

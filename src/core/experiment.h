@@ -1,0 +1,23 @@
+// Experiment sweep runner: executes a batch of independent simulation
+// configurations on a thread pool and collects results in input order.
+// Each simulation is single-threaded and deterministic in (config, seed),
+// so parallelism across configurations cannot change any result.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/engine.h"
+
+namespace stableshard::core {
+
+struct ExperimentRun {
+  SimConfig config;
+  SimResult result;
+};
+
+/// Run all configs (thread count 0 = hardware concurrency).
+std::vector<ExperimentRun> RunSweep(const std::vector<SimConfig>& configs,
+                                    std::size_t threads = 0);
+
+}  // namespace stableshard::core

@@ -1,0 +1,192 @@
+#include "core/fds.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace stableshard::core {
+
+FdsScheduler::FdsScheduler(const net::ShardMetric& metric,
+                           const cluster::Hierarchy& hierarchy,
+                           CommitLedger& ledger, const FdsConfig& config)
+    : metric_(&metric),
+      hierarchy_(&hierarchy),
+      ledger_(&ledger),
+      config_(config),
+      network_(metric),
+      protocol_(network_, ledger,
+                [this](TxnId txn, bool committed) { OnDecided(txn, committed); },
+                config.commit_mode),
+      cluster_state_(hierarchy.clusters().size()) {
+  // Derive the aligned base epoch length E_0 (see header).
+  Round e0 = 4;
+  for (std::uint32_t layer = 0; layer < hierarchy.layer_count(); ++layer) {
+    const Round needed =
+        CeilDiv(2ull * hierarchy.layer_diameter(layer) + 3, 1ull << layer);
+    e0 = std::max(e0, needed);
+  }
+  e0_ = e0;
+  for (const cluster::Cluster& cluster : hierarchy.clusters()) {
+    if (cluster.HasLeader()) leadered_clusters_.push_back(cluster.id);
+  }
+}
+
+Round FdsScheduler::epoch_length(std::uint32_t layer) const {
+  return e0_ << layer;
+}
+
+void FdsScheduler::Inject(const txn::Transaction& txn) {
+  // Home cluster: lowest-level cluster covering the x-neighborhood of the
+  // home shard, x = distance to the farthest destination (Section 6.1).
+  Distance x = 0;
+  for (const ShardId dest : txn.destinations()) {
+    x = std::max(x, metric_->distance(txn.home(), dest));
+  }
+  const cluster::Cluster& home_cluster =
+      hierarchy_->FindHomeCluster(txn.home(), x);
+  ClusterState& state = cluster_state_[home_cluster.id];
+  if (!state.ever_used) {
+    state.ever_used = true;
+    ++used_cluster_count_;
+  }
+  state.home_buffer[txn.home()].push_back(txn);
+  txn_cluster_.emplace(txn.id(), home_cluster.id);
+  ++buffered_;
+}
+
+void FdsScheduler::OnDecided(TxnId txn, bool committed) {
+  (void)committed;
+  const auto it = txn_cluster_.find(txn);
+  SSHARD_CHECK(it != txn_cluster_.end());
+  ClusterState& state = cluster_state_[it->second];
+  const auto erased = state.active.erase(txn);
+  SSHARD_CHECK(erased == 1 && "decided txn missing from sch_ldr");
+  txn_cluster_.erase(it);
+}
+
+void FdsScheduler::RunEpochStart(const cluster::Cluster& cluster,
+                                 Round round) {
+  // Phase 1: home shards ship their buffered transactions to the leader.
+  ClusterState& state = cluster_state_[cluster.id];
+  if (state.home_buffer.empty()) return;
+  for (auto& [home, txns] : state.home_buffer) {
+    TxnBatchMsg batch;
+    batch.cluster = cluster.id;
+    batch.epoch = round / epoch_length(cluster.layer);
+    buffered_ -= txns.size();
+    const std::uint64_t units = txns.size();
+    batch.txns = std::move(txns);
+    network_.Send(home, cluster.leader, round, Message{std::move(batch)},
+                  units);
+  }
+  state.home_buffer.clear();
+}
+
+void FdsScheduler::RunColoring(const cluster::Cluster& cluster, Round round) {
+  ClusterState& state = cluster_state_[cluster.id];
+  const Round e_i = epoch_length(cluster.layer);
+  const Round epoch_start = (round / e_i) * e_i;
+  const Round t_end = epoch_start + e_i;
+
+  // Rescheduling: the epoch end coincides with a rescheduling period P_k
+  // for some k > layer iff t_end is a multiple of 2 * E_i.
+  const bool reschedule = config_.reschedule && (t_end % (2 * e_i) == 0) &&
+                          !state.active.empty();
+
+  if (state.incoming.empty() && !reschedule) return;
+
+  // Collect the coloring set: new transactions, plus (on reschedule) every
+  // scheduled-but-undecided transaction of this cluster.
+  std::vector<const txn::Transaction*> view;
+  view.reserve(state.incoming.size() + (reschedule ? state.active.size() : 0));
+  const std::size_t new_count = state.incoming.size();
+  for (const auto& txn : state.incoming) view.push_back(&txn);
+  if (reschedule) {
+    ++reschedules_;
+    for (const auto& [id, txn] : state.active) {
+      (void)id;
+      view.push_back(&txn);
+    }
+  }
+
+  const txn::ColoringResult coloring =
+      ColorShardCliques(view, config_.coloring);
+  SSHARD_DCHECK(IsProperShardColoring(view, coloring.color));
+
+  for (std::size_t v = 0; v < view.size(); ++v) {
+    const txn::Transaction& txn = *view[v];
+    const Height height{t_end, cluster.layer, cluster.sublayer,
+                        coloring.color[v], txn.id()};
+    const bool is_new = v < new_count;
+    if (is_new) {
+      protocol_.Coordinate(txn, cluster.id);
+    }
+    for (const txn::SubTransaction& sub : txn.subs()) {
+      protocol_.SendSubTxn(cluster.leader, txn, sub, height, cluster.id,
+                           round, /*update=*/!is_new);
+    }
+  }
+  for (auto& txn : state.incoming) {
+    const TxnId id = txn.id();
+    state.active.emplace(id, std::move(txn));
+  }
+  state.incoming.clear();
+}
+
+void FdsScheduler::Step(Round round) {
+  // Deliver: protocol messages are handled inline; Phase-1 batches land in
+  // the leader's incoming set.
+  for (auto& envelope : network_.Deliver(round)) {
+    if (protocol_.HandleMessage(envelope.to, envelope.payload, round)) {
+      continue;
+    }
+    auto* batch = std::get_if<TxnBatchMsg>(&envelope.payload);
+    SSHARD_CHECK(batch != nullptr && "unexpected message type in FDS");
+    ClusterState& state = cluster_state_[batch->cluster];
+    SSHARD_CHECK(envelope.to ==
+                 hierarchy_->clusters()[batch->cluster].leader);
+    for (auto& txn : batch->txns) state.incoming.push_back(std::move(txn));
+  }
+
+  // Per-cluster epoch machinery.
+  for (const std::uint32_t id : leadered_clusters_) {
+    const cluster::Cluster& cluster = hierarchy_->clusters()[id];
+    const Round e_i = epoch_length(cluster.layer);
+    const Round offset = round % e_i;
+    if (offset == 0) {
+      RunEpochStart(cluster, round);
+    }
+    const Round coloring_offset =
+        std::max<Round>(1, std::min<Round>(e_i - 1, cluster.diameter));
+    if (offset == coloring_offset) {
+      RunColoring(cluster, round);
+    }
+  }
+
+  // Algorithm 2b: destinations vote for their queue heads.
+  protocol_.IssueVotes(round);
+}
+
+bool FdsScheduler::Idle() const {
+  if (buffered_ != 0 || network_.HasPending() || !protocol_.Idle()) {
+    return false;
+  }
+  for (const std::uint32_t id : leadered_clusters_) {
+    const ClusterState& state = cluster_state_[id];
+    if (!state.incoming.empty() || !state.active.empty()) return false;
+  }
+  return true;
+}
+
+double FdsScheduler::LeaderQueueMean() const {
+  if (used_cluster_count_ == 0) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint32_t id : leadered_clusters_) {
+    total += cluster_state_[id].active.size();
+  }
+  return static_cast<double>(total) /
+         static_cast<double>(used_cluster_count_);
+}
+
+}  // namespace stableshard::core

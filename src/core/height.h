@@ -1,0 +1,29 @@
+// Transaction heights (paper Section 6.2).
+//
+// FDS orders scheduled transactions by the lexicographic tuple
+// (t_end, layer, sublayer, color): t_end is the end time of the epoch in
+// which the transaction was (re)colored, so earlier-scheduled work and
+// lower-layer (more local) clusters get priority. We append the transaction
+// id as a final tiebreaker so the order is *total* — destination shards
+// sort their schedule queues identically, which is what guarantees the
+// consistent cross-shard serialization the paper relies on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace stableshard::core {
+
+struct Height {
+  Round t_end = 0;
+  std::uint32_t layer = 0;
+  std::uint32_t sublayer = 0;
+  Color color = 0;
+  TxnId txn = kInvalidTxn;
+
+  friend auto operator<=>(const Height&, const Height&) = default;
+};
+
+}  // namespace stableshard::core

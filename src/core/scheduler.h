@@ -1,0 +1,42 @@
+// Scheduler interface.
+//
+// A Scheduler consumes injected transactions and drives the per-round
+// protocol that eventually commits (or aborts) each one through the
+// CommitLedger. The engine calls Inject() for every transaction generated
+// by the adversary at the start of a round, then Step(round) exactly once.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace stableshard::core {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// A transaction arrives at its home shard's injection queue.
+  virtual void Inject(const txn::Transaction& txn) = 0;
+
+  /// Execute one synchronous round (deliver messages, run the phase logic,
+  /// send messages). Rounds are strictly increasing, starting at 0.
+  virtual void Step(Round round) = 0;
+
+  /// No pending work anywhere (used by drain-mode liveness tests).
+  virtual bool Idle() const = 0;
+
+  /// Scheduler-specific "queue size at the coordinating shards" metric:
+  /// BDS reports 0 (its figure metric is home-shard pending, tracked by the
+  /// engine); FDS reports the mean scheduled-but-uncommitted queue length
+  /// per active cluster leader (Figure 3's left panel).
+  virtual double LeaderQueueMean() const { return 0.0; }
+
+  virtual std::uint64_t MessagesSent() const = 0;
+  virtual std::uint64_t PayloadUnits() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace stableshard::core

@@ -1,0 +1,112 @@
+// Shard interconnection metrics (the weighted clique G_s of Section 3).
+//
+// The paper models the network between shards as a complete weighted graph
+// whose edge weight is the number of rounds a message needs between the two
+// shards. The uniform model has all weights 1; the non-uniform model has
+// weights in [1, D] where D is the diameter. The FDS evaluation (Figure 3)
+// places 64 shards on a line with distance |i - j|.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace stableshard::net {
+
+/// Abstract metric over shards. Implementations must satisfy the metric
+/// axioms for distances between *distinct* shards: symmetry, positivity
+/// (>= 1) and the triangle inequality; distance(i, i) == 0.
+class ShardMetric {
+ public:
+  virtual ~ShardMetric() = default;
+
+  virtual ShardId shard_count() const = 0;
+  virtual Distance distance(ShardId a, ShardId b) const = 0;
+
+  /// Maximum distance between any two shards (the clique diameter D).
+  Distance Diameter() const;
+
+  /// All shards within distance `radius` of `center` (includes `center`).
+  std::vector<ShardId> Neighborhood(ShardId center, Distance radius) const;
+
+  /// Strong diameter of a shard subset: max pairwise distance measured with
+  /// this metric (our clusters are metric balls, so induced-subgraph
+  /// distances coincide with clique distances for the topologies we use).
+  Distance SubsetDiameter(const std::vector<ShardId>& shards) const;
+};
+
+/// Uniform model: every pair of distinct shards at distance 1.
+class UniformMetric final : public ShardMetric {
+ public:
+  explicit UniformMetric(ShardId shards);
+  ShardId shard_count() const override { return shards_; }
+  Distance distance(ShardId a, ShardId b) const override;
+
+ private:
+  ShardId shards_;
+};
+
+/// Line topology (paper Section 7, Figure 3): distance(i, j) = |i - j|,
+/// adjacent shards at distance 1, diameter s - 1.
+class LineMetric final : public ShardMetric {
+ public:
+  explicit LineMetric(ShardId shards);
+  ShardId shard_count() const override { return shards_; }
+  Distance distance(ShardId a, ShardId b) const override;
+
+ private:
+  ShardId shards_;
+};
+
+/// Ring topology: distance(i, j) = min(|i-j|, s - |i-j|), diameter floor(s/2).
+class RingMetric final : public ShardMetric {
+ public:
+  explicit RingMetric(ShardId shards);
+  ShardId shard_count() const override { return shards_; }
+  Distance distance(ShardId a, ShardId b) const override;
+
+ private:
+  ShardId shards_;
+};
+
+/// 2D grid (L1 distance): shard i at (i % width, i / width).
+class GridMetric final : public ShardMetric {
+ public:
+  GridMetric(ShardId width, ShardId height);
+  ShardId shard_count() const override { return width_ * height_; }
+  Distance distance(ShardId a, ShardId b) const override;
+  ShardId width() const { return width_; }
+  ShardId height() const { return height_; }
+
+ private:
+  ShardId width_;
+  ShardId height_;
+};
+
+/// Arbitrary metric backed by an explicit symmetric matrix. Validates the
+/// metric axioms on construction (positivity, symmetry, triangle
+/// inequality) so that cluster decomposition preconditions hold.
+class MatrixMetric final : public ShardMetric {
+ public:
+  /// `matrix` is row-major s*s; diagonal must be 0, off-diagonal >= 1.
+  MatrixMetric(ShardId shards, std::vector<Distance> matrix);
+
+  ShardId shard_count() const override { return shards_; }
+  Distance distance(ShardId a, ShardId b) const override;
+
+ private:
+  ShardId shards_;
+  std::vector<Distance> matrix_;
+};
+
+/// Random geometric metric: shards placed uniformly in a square of side
+/// `side`, distance = max(1, round(euclidean)). Always a valid metric after
+/// shortest-path closure (applied internally).
+std::unique_ptr<MatrixMetric> MakeRandomGeometricMetric(ShardId shards,
+                                                        Distance side,
+                                                        Rng& rng);
+
+}  // namespace stableshard::net

@@ -1,0 +1,95 @@
+// Simulated inter-shard message-passing network.
+//
+// Shards exchange messages over the weighted clique G_s; a message sent at
+// round r from shard a to shard b is delivered at round r + distance(a, b)
+// (distance >= 1 for a != b; self-sends deliver next round, modelling the
+// one-round intra-shard consensus on the message).
+//
+// The network layer assumes the cluster-sending protocol of Hellings &
+// Sadoghi (modelled in src/consensus): delivery is reliable and agreed upon
+// by all non-faulty nodes of the receiving shard within the round budget.
+// Here we account for traffic (messages, payload units) and delay only.
+//
+// Network<Payload> is a class template so each scheduler can use its own
+// message variant without type erasure on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "net/metric.h"
+
+namespace stableshard::net {
+
+/// Traffic accounting, exposed by every Network instantiation.
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t payload_units = 0;  ///< sum of caller-declared payload sizes
+  std::uint64_t max_in_flight = 0;  ///< peak undelivered messages
+};
+
+template <typename Payload>
+class Network {
+ public:
+  struct Envelope {
+    ShardId from;
+    ShardId to;
+    Round sent;
+    Round deliver;
+    Payload payload;
+  };
+
+  explicit Network(const ShardMetric& metric) : metric_(&metric) {}
+
+  /// Queue `payload` from shard `from` to shard `to` at round `now`.
+  /// `payload_units` is the caller-declared logical size (e.g. transaction
+  /// count) used for the O(bs) message-size accounting of Section 3.
+  void Send(ShardId from, ShardId to, Round now, Payload payload,
+            std::uint64_t payload_units = 1) {
+    SSHARD_DCHECK(from < metric_->shard_count());
+    SSHARD_DCHECK(to < metric_->shard_count());
+    const Distance d = from == to ? 1 : metric_->distance(from, to);
+    const Round deliver = now + d;
+    in_flight_[deliver].push_back(
+        Envelope{from, to, now, deliver, std::move(payload)});
+    ++stats_.messages_sent;
+    stats_.payload_units += payload_units;
+    pending_count_ += 1;
+    if (pending_count_ > stats_.max_in_flight) {
+      stats_.max_in_flight = pending_count_;
+    }
+  }
+
+  /// Remove and return every message due at round `now`. Messages are
+  /// returned in deterministic (send-order) sequence.
+  std::vector<Envelope> Deliver(Round now) {
+    std::vector<Envelope> due;
+    auto it = in_flight_.find(now);
+    if (it != in_flight_.end()) {
+      due = std::move(it->second);
+      in_flight_.erase(it);
+      pending_count_ -= due.size();
+    }
+    // A synchronous simulation drives Deliver() for every round in order, so
+    // nothing earlier than `now` may remain.
+    SSHARD_DCHECK(in_flight_.empty() || in_flight_.begin()->first > now);
+    return due;
+  }
+
+  bool HasPending() const { return pending_count_ > 0; }
+  std::uint64_t pending_count() const { return pending_count_; }
+  const TrafficStats& stats() const { return stats_; }
+  const ShardMetric& metric() const { return *metric_; }
+
+ private:
+  const ShardMetric* metric_;
+  std::map<Round, std::vector<Envelope>> in_flight_;
+  std::uint64_t pending_count_ = 0;
+  TrafficStats stats_;
+};
+
+}  // namespace stableshard::net

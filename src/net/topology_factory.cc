@@ -1,0 +1,62 @@
+#include "net/topology_factory.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace stableshard::net {
+
+TopologyKind ParseTopology(const std::string& name) {
+  if (name == "uniform") return TopologyKind::kUniform;
+  if (name == "line") return TopologyKind::kLine;
+  if (name == "ring") return TopologyKind::kRing;
+  if (name == "grid") return TopologyKind::kGrid;
+  if (name == "random_geo") return TopologyKind::kRandomGeometric;
+  SSHARD_CHECK(false && "unknown topology name");
+  return TopologyKind::kUniform;
+}
+
+std::string TopologyName(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kUniform:
+      return "uniform";
+    case TopologyKind::kLine:
+      return "line";
+    case TopologyKind::kRing:
+      return "ring";
+    case TopologyKind::kGrid:
+      return "grid";
+    case TopologyKind::kRandomGeometric:
+      return "random_geo";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ShardMetric> MakeMetric(TopologyKind kind, ShardId shards,
+                                        Rng* rng) {
+  switch (kind) {
+    case TopologyKind::kUniform:
+      return std::make_unique<UniformMetric>(shards);
+    case TopologyKind::kLine:
+      return std::make_unique<LineMetric>(shards);
+    case TopologyKind::kRing:
+      return std::make_unique<RingMetric>(shards);
+    case TopologyKind::kGrid: {
+      const auto width = static_cast<ShardId>(CeilSqrt(shards));
+      const auto height = static_cast<ShardId>(CeilDiv(shards, width));
+      // The grid may have more cells than shards; use an exact-fit grid by
+      // requiring the product to equal the shard count.
+      SSHARD_CHECK(width * height == shards &&
+                   "grid topology needs shards = width * height; "
+                   "use a square shard count");
+      return std::make_unique<GridMetric>(width, height);
+    }
+    case TopologyKind::kRandomGeometric: {
+      SSHARD_CHECK(rng != nullptr &&
+                   "random_geo topology requires an RNG for placement");
+      return MakeRandomGeometricMetric(shards, shards, *rng);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace stableshard::net

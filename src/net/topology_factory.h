@@ -1,0 +1,33 @@
+// Construction of shard metrics by name, used by the config layer and the
+// benchmark harness ("uniform", "line", "ring", "grid", "random_geo").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "net/metric.h"
+
+namespace stableshard::net {
+
+enum class TopologyKind {
+  kUniform,
+  kLine,
+  kRing,
+  kGrid,
+  kRandomGeometric,
+};
+
+/// Parse a topology name; aborts on unknown names (configuration error).
+TopologyKind ParseTopology(const std::string& name);
+
+/// Human-readable name for a topology kind.
+std::string TopologyName(TopologyKind kind);
+
+/// Build a metric of the given kind over `shards` shards.
+/// - kGrid arranges shards in a near-square grid (width = ceil(sqrt(s))).
+/// - kRandomGeometric uses a square of side `shards` and the provided rng.
+std::unique_ptr<ShardMetric> MakeMetric(TopologyKind kind, ShardId shards,
+                                        Rng* rng = nullptr);
+
+}  // namespace stableshard::net

@@ -1,0 +1,42 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace stableshard::stats {
+
+Histogram::Histogram(double bucket_width, std::size_t bucket_count)
+    : bucket_width_(bucket_width), buckets_(bucket_count, 0) {
+  SSHARD_CHECK(bucket_width > 0.0);
+  SSHARD_CHECK(bucket_count >= 1);
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  if (value < 0) value = 0;
+  const auto index = static_cast<std::size_t>(value / bucket_width_);
+  if (index >= buckets_.size()) {
+    ++overflow_;
+  } else {
+    ++buckets_[index];
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      const double within = (target - cumulative) / buckets_[i];
+      return (static_cast<double>(i) + within) * bucket_width_;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(buckets_.size()) * bucket_width_;
+}
+
+}  // namespace stableshard::stats

@@ -1,0 +1,36 @@
+// Fixed-width bucketed histogram with overflow bucket and exact quantile
+// estimation by bucket interpolation. Used for latency distributions in the
+// extended benches (the paper reports only averages; quantiles are part of
+// our ablation reporting).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stableshard::stats {
+
+class Histogram {
+ public:
+  /// `bucket_width` > 0, `bucket_count` >= 1. Values >= width*count land in
+  /// the overflow bucket.
+  Histogram(double bucket_width, std::size_t bucket_count);
+
+  void Add(double value);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t overflow() const { return overflow_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  double bucket_width() const { return bucket_width_; }
+
+  /// Approximate quantile (q in [0,1]) via linear interpolation within the
+  /// containing bucket; returns the overflow lower edge if q lands there.
+  double Quantile(double q) const;
+
+ private:
+  double bucket_width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace stableshard::stats

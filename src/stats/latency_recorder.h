@@ -1,0 +1,43 @@
+// Transaction latency bookkeeping.
+//
+// The paper defines the delay of a transaction as the number of rounds
+// between its generation and the moment of commit (all subtransactions
+// appended); scheduler latency is the maximum delay, and the figures report
+// the *average* delay. LatencyRecorder tracks both plus commit/abort counts.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "stats/histogram.h"
+#include "stats/running_stats.h"
+
+namespace stableshard::stats {
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  /// Record a transaction resolving (committed or aborted) at `resolved`
+  /// after being injected at `injected`.
+  void Record(Round injected, Round resolved, bool committed);
+
+  std::uint64_t committed() const { return committed_; }
+  std::uint64_t aborted() const { return aborted_; }
+  std::uint64_t resolved() const { return committed_ + aborted_; }
+
+  double average_latency() const { return latency_.mean(); }
+  double max_latency() const { return latency_.max(); }
+  double p50_latency() const { return histogram_.Quantile(0.50); }
+  double p99_latency() const { return histogram_.Quantile(0.99); }
+
+  const RunningStats& latency_stats() const { return latency_; }
+
+ private:
+  RunningStats latency_;
+  Histogram histogram_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+};
+
+}  // namespace stableshard::stats

@@ -1,0 +1,36 @@
+// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+//
+// Used for the figure series: "average pending transactions per home shard"
+// and "average transaction latency" are means over per-round samples and
+// per-transaction delays respectively.
+#pragma once
+
+#include <cstdint>
+
+namespace stableshard::stats {
+
+class RunningStats {
+ public:
+  void Add(double x);
+
+  /// Merge another accumulator (Chan's parallel variance combination),
+  /// used when aggregating per-shard series into a system-wide figure point.
+  void Merge(const RunningStats& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return count_ == 0 ? 0.0 : mean_ * count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace stableshard::stats

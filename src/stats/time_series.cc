@@ -1,0 +1,33 @@
+#include "stats/time_series.h"
+
+#include "common/check.h"
+
+namespace stableshard::stats {
+
+TimeSeries::TimeSeries(Round window) : window_(window) {
+  SSHARD_CHECK(window >= 1);
+}
+
+void TimeSeries::Record(Round round, double value) {
+  const Round window_start = (round / window_) * window_;
+  if (in_window_ > 0 && window_start != current_window_start_) {
+    FlushWindow();
+  }
+  current_window_start_ = window_start;
+  accumulator_ += value;
+  ++in_window_;
+}
+
+void TimeSeries::FlushWindow() {
+  points_.push_back(
+      {current_window_start_, accumulator_ / static_cast<double>(in_window_)});
+  accumulator_ = 0.0;
+  in_window_ = 0;
+}
+
+std::vector<TimeSeries::Point> TimeSeries::Finish() {
+  if (in_window_ > 0) FlushWindow();
+  return points_;
+}
+
+}  // namespace stableshard::stats

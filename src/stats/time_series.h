@@ -1,0 +1,42 @@
+// Down-sampled time series recorder.
+//
+// Recording a value every round for 25000 rounds x dozens of configs would
+// be wasteful; TimeSeries keeps a bounded number of points by averaging
+// within fixed-size windows, which is exactly what a plotted figure needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace stableshard::stats {
+
+class TimeSeries {
+ public:
+  /// Averages samples within windows of `window` rounds (>= 1).
+  explicit TimeSeries(Round window = 1);
+
+  void Record(Round round, double value);
+
+  struct Point {
+    Round round;  ///< window start round
+    double value; ///< window mean
+  };
+
+  /// Flushes the pending partial window and returns all points.
+  std::vector<Point> Finish();
+
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  void FlushWindow();
+
+  Round window_;
+  Round current_window_start_ = 0;
+  double accumulator_ = 0.0;
+  std::uint64_t in_window_ = 0;
+  std::vector<Point> points_;
+};
+
+}  // namespace stableshard::stats

@@ -1,0 +1,202 @@
+#include "txn/coloring.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace stableshard::txn {
+
+namespace {
+
+constexpr Color kUncolored = static_cast<Color>(-1);
+
+/// Greedy coloring along `order`: each vertex takes the smallest color not
+/// used by an already-colored neighbor.
+ColoringResult GreedyInOrder(const ConflictGraph& graph,
+                             const std::vector<std::uint32_t>& order) {
+  const std::size_t n = graph.size();
+  ColoringResult result;
+  result.color.assign(n, kUncolored);
+  std::vector<std::uint32_t> mark(n + 1, UINT32_MAX);
+  for (std::uint32_t step = 0; step < order.size(); ++step) {
+    const std::uint32_t v = order[step];
+    for (const std::uint32_t u : graph.neighbors(v)) {
+      if (result.color[u] != kUncolored) {
+        mark[result.color[u]] = step;
+      }
+    }
+    Color chosen = 0;
+    while (mark[chosen] == step) ++chosen;
+    result.color[v] = chosen;
+    result.num_colors = std::max(result.num_colors, chosen + 1);
+  }
+  return result;
+}
+
+ColoringResult Dsatur(const ConflictGraph& graph) {
+  const std::size_t n = graph.size();
+  ColoringResult result;
+  result.color.assign(n, kUncolored);
+  if (n == 0) return result;
+
+  std::vector<std::set<Color>> neighbor_colors(n);
+  // Priority: (saturation, degree, -v). std::set as a simple updatable heap;
+  // n is at most a few tens of thousands per epoch, and DSATUR is only used
+  // in ablations.
+  auto priority = [&](std::uint32_t v) {
+    return std::tuple(neighbor_colors[v].size(), graph.degree(v),
+                      ~static_cast<std::uint32_t>(v));
+  };
+  std::set<std::tuple<std::size_t, std::size_t, std::uint32_t>> queue;
+  for (std::uint32_t v = 0; v < n; ++v) queue.insert(priority(v));
+
+  for (std::size_t colored = 0; colored < n; ++colored) {
+    const auto top = *queue.rbegin();
+    queue.erase(std::prev(queue.end()));
+    const std::uint32_t v = ~std::get<2>(top);
+    Color chosen = 0;
+    while (neighbor_colors[v].count(chosen) != 0) ++chosen;
+    result.color[v] = chosen;
+    result.num_colors = std::max(result.num_colors, chosen + 1);
+    for (const std::uint32_t u : graph.neighbors(v)) {
+      if (result.color[u] != kUncolored) continue;
+      queue.erase(priority(u));
+      neighbor_colors[u].insert(chosen);
+      queue.insert(priority(u));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* ToString(ColoringAlgorithm algorithm) {
+  switch (algorithm) {
+    case ColoringAlgorithm::kGreedy:
+      return "greedy";
+    case ColoringAlgorithm::kWelshPowell:
+      return "welsh-powell";
+    case ColoringAlgorithm::kDsatur:
+      return "dsatur";
+  }
+  return "?";
+}
+
+ColoringResult ColorGraph(const ConflictGraph& graph,
+                          ColoringAlgorithm algorithm) {
+  const std::size_t n = graph.size();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  switch (algorithm) {
+    case ColoringAlgorithm::kGreedy:
+      return GreedyInOrder(graph, order);
+    case ColoringAlgorithm::kWelshPowell:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return graph.degree(a) > graph.degree(b);
+                       });
+      return GreedyInOrder(graph, order);
+    case ColoringAlgorithm::kDsatur:
+      return Dsatur(graph);
+  }
+  SSHARD_CHECK(false && "unknown coloring algorithm");
+  return {};
+}
+
+ColoringResult ColorShardCliques(const std::vector<const Transaction*>& txns,
+                                 ColoringAlgorithm algorithm) {
+  const std::size_t n = txns.size();
+  ColoringResult result;
+  result.color.assign(n, kUncolored);
+  if (n == 0) return result;
+
+  // Destination shards appearing in this batch, remapped to dense indices.
+  std::unordered_map<ShardId, std::uint32_t> shard_index;
+  std::vector<std::uint64_t> shard_load;  // transactions touching the shard
+  for (const Transaction* txn : txns) {
+    for (const ShardId shard : txn->destinations()) {
+      const auto [it, inserted] =
+          shard_index.try_emplace(shard, shard_index.size());
+      if (inserted) shard_load.push_back(0);
+      ++shard_load[it->second];
+    }
+  }
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (algorithm != ColoringAlgorithm::kGreedy) {
+    // Clique-degree proxy: a transaction conflicts with at most
+    // sum(shard_load - 1) others; order descending (Welsh-Powell).
+    std::vector<std::uint64_t> proxy(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const ShardId shard : txns[v]->destinations()) {
+        proxy[v] += shard_load[shard_index[shard]] - 1;
+      }
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return proxy[a] > proxy[b];
+                     });
+  }
+
+  // used[shard][color] = step stamp; a color is free for a transaction iff
+  // none of its shards stamped it this step... stamps are monotone per
+  // shard/color pair (set once per assignment), so plain booleans grown on
+  // demand suffice.
+  std::vector<std::vector<bool>> used(shard_load.size());
+  for (const std::uint32_t v : order) {
+    Color chosen = 0;
+    for (bool conflict = true; conflict;) {
+      conflict = false;
+      for (const ShardId shard : txns[v]->destinations()) {
+        const auto& marks = used[shard_index[shard]];
+        if (chosen < marks.size() && marks[chosen]) {
+          conflict = true;
+          ++chosen;
+          break;
+        }
+      }
+    }
+    result.color[v] = chosen;
+    result.num_colors = std::max(result.num_colors, chosen + 1);
+    for (const ShardId shard : txns[v]->destinations()) {
+      auto& marks = used[shard_index[shard]];
+      if (marks.size() <= chosen) marks.resize(chosen + 1, false);
+      marks[chosen] = true;
+    }
+  }
+  return result;
+}
+
+bool IsProperShardColoring(const std::vector<const Transaction*>& txns,
+                           const std::vector<Color>& color) {
+  if (color.size() != txns.size()) return false;
+  std::unordered_map<std::uint64_t, int> seen;  // (shard, color) pairs
+  for (std::size_t v = 0; v < txns.size(); ++v) {
+    if (color[v] == kUncolored) return false;
+    for (const ShardId shard : txns[v]->destinations()) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(shard) << 32) | color[v];
+      if (!seen.emplace(key, 1).second) return false;
+    }
+  }
+  return true;
+}
+
+bool IsProperColoring(const ConflictGraph& graph,
+                      const std::vector<Color>& color) {
+  if (color.size() != graph.size()) return false;
+  for (std::size_t v = 0; v < graph.size(); ++v) {
+    if (color[v] == kUncolored) return false;
+    for (const std::uint32_t u : graph.neighbors(v)) {
+      if (color[u] == color[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace stableshard::txn

@@ -1,0 +1,92 @@
+#include "txn/conflict_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace stableshard::txn {
+
+ConflictGraph::ConflictGraph(const std::vector<const Transaction*>& txns,
+                             ConflictGranularity granularity) {
+  const std::size_t n = txns.size();
+  SSHARD_CHECK(n <= UINT32_MAX);
+  adjacency_.resize(n);
+  ids_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) ids_[v] = txns[v]->id();
+
+  if (granularity == ConflictGranularity::kShard) {
+    // Any two transactions sharing a destination shard conflict (unit shard
+    // capacity). Inverted index: shard -> users.
+    std::unordered_map<ShardId, std::vector<std::uint32_t>> users;
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const ShardId shard : txns[v]->destinations()) {
+        users[shard].push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+    for (const auto& [shard, list] : users) {
+      (void)shard;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        for (std::size_t j = i + 1; j < list.size(); ++j) {
+          adjacency_[list[i]].push_back(list[j]);
+          adjacency_[list[j]].push_back(list[i]);
+        }
+      }
+    }
+  } else {
+    // Account granularity: shared account with >= 1 write.
+    // Inverted index: account -> (readers, writers) vertex lists.
+    struct AccountUsers {
+      std::vector<std::uint32_t> readers;
+      std::vector<std::uint32_t> writers;
+    };
+    std::unordered_map<AccountId, AccountUsers> users;
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const Transaction::Access& access : txns[v]->accesses()) {
+        AccountUsers& u = users[access.account];
+        (access.write ? u.writers : u.readers)
+            .push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+
+    // writer-writer and writer-reader pairs conflict.
+    for (const auto& [account, u] : users) {
+      (void)account;
+      for (std::size_t i = 0; i < u.writers.size(); ++i) {
+        for (std::size_t j = i + 1; j < u.writers.size(); ++j) {
+          adjacency_[u.writers[i]].push_back(u.writers[j]);
+          adjacency_[u.writers[j]].push_back(u.writers[i]);
+        }
+        for (const std::uint32_t reader : u.readers) {
+          adjacency_[u.writers[i]].push_back(reader);
+          adjacency_[reader].push_back(u.writers[i]);
+        }
+      }
+    }
+  }
+
+  // Deduplicate (two txns may share several accounts).
+  for (std::size_t v = 0; v < n; ++v) {
+    auto& adj = adjacency_[v];
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    edge_count_ += adj.size();
+  }
+  edge_count_ /= 2;
+}
+
+std::size_t ConflictGraph::MaxDegree() const {
+  std::size_t max_degree = 0;
+  for (const auto& adj : adjacency_) {
+    max_degree = std::max(max_degree, adj.size());
+  }
+  return max_degree;
+}
+
+bool ConflictGraph::HasEdge(std::size_t a, std::size_t b) const {
+  const auto& adj = adjacency_[a];
+  return std::binary_search(adj.begin(), adj.end(),
+                            static_cast<std::uint32_t>(b));
+}
+
+}  // namespace stableshard::txn

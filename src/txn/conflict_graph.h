@@ -1,0 +1,64 @@
+// Transaction conflict graph (paper Section 3).
+//
+// Vertices are transactions; an edge joins two transactions that access a
+// common account with at least one write. Both schedulers color this graph
+// (Phase 2) to produce a conflict-free commit schedule: same-color
+// transactions are mutually non-conflicting and commit concurrently.
+//
+// Construction is O(sum over accounts of writers*accessors) via an
+// account-indexed inverted list rather than the naive O(n^2) pairwise scan,
+// which matters for the burst workloads (tens of thousands of transactions
+// in one epoch).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace stableshard::txn {
+
+/// Edge definition used when building the graph.
+///
+/// kAccount is the paper's Section-3 definition (shared account, >= 1
+/// write) and captures *semantic* conflicts. kShard additionally treats any
+/// two transactions sharing a destination shard as conflicting: since each
+/// shard can process exactly one subtransaction per round, same-color
+/// transactions must be shard-disjoint for the schedule to respect unit
+/// shard capacity. With the paper's simulation setup (one account per
+/// shard, write-only workload) the two definitions coincide; the schedulers
+/// color the kShard graph, and kAccount is used for serializability
+/// analysis and ablations.
+enum class ConflictGranularity : std::uint8_t { kAccount, kShard };
+
+class ConflictGraph {
+ public:
+  /// Builds the conflict graph of `txns`. Vertices are indexed by position
+  /// in the input; the mapping to TxnIds is kept for callers.
+  explicit ConflictGraph(const std::vector<const Transaction*>& txns,
+                         ConflictGranularity granularity =
+                             ConflictGranularity::kAccount);
+
+  std::size_t size() const { return adjacency_.size(); }
+  const std::vector<std::uint32_t>& neighbors(std::size_t v) const {
+    return adjacency_[v];
+  }
+  std::size_t degree(std::size_t v) const { return adjacency_[v].size(); }
+
+  /// Maximum vertex degree Delta (epoch length driver in Lemma 1).
+  std::size_t MaxDegree() const;
+
+  std::uint64_t edge_count() const { return edge_count_; }
+
+  TxnId txn_id(std::size_t v) const { return ids_[v]; }
+
+  bool HasEdge(std::size_t a, std::size_t b) const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::vector<TxnId> ids_;
+  std::uint64_t edge_count_ = 0;
+};
+
+}  // namespace stableshard::txn

@@ -1,0 +1,123 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace stableshard::txn {
+
+bool SubTransaction::HasWrite() const {
+  return std::any_of(actions.begin(), actions.end(),
+                     [](const chain::Action& a) { return a.IsWrite(); });
+}
+
+std::vector<AccountId> SubTransaction::ReadSet() const {
+  std::vector<AccountId> reads;
+  for (const auto& condition : conditions) reads.push_back(condition.account);
+  for (const auto& action : actions) {
+    if (!action.IsWrite()) reads.push_back(action.account);
+  }
+  std::sort(reads.begin(), reads.end());
+  reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+  return reads;
+}
+
+std::vector<AccountId> SubTransaction::WriteSet() const {
+  std::vector<AccountId> writes;
+  for (const auto& action : actions) {
+    if (action.IsWrite()) writes.push_back(action.account);
+  }
+  std::sort(writes.begin(), writes.end());
+  writes.erase(std::unique(writes.begin(), writes.end()), writes.end());
+  return writes;
+}
+
+std::uint64_t SubTransaction::Digest() const {
+  std::uint64_t digest = Mix64(destination + 1);
+  for (const auto& condition : conditions) {
+    digest ^= Mix64(condition.account * 31 +
+                    static_cast<std::uint64_t>(condition.op) * 7 +
+                    static_cast<std::uint64_t>(condition.value));
+  }
+  for (const auto& action : actions) {
+    digest ^= Mix64(action.account * 131 +
+                    static_cast<std::uint64_t>(action.kind) * 13 +
+                    static_cast<std::uint64_t>(action.amount));
+  }
+  return digest;
+}
+
+Transaction::Transaction(TxnId id, ShardId home, Round injected,
+                         std::vector<SubTransaction> subs)
+    : id_(id), home_(home), injected_(injected), subs_(std::move(subs)) {
+  SSHARD_CHECK(!subs_.empty());
+  destinations_.reserve(subs_.size());
+  for (const auto& sub : subs_) {
+    SSHARD_CHECK(sub.destination != kInvalidShard);
+    destinations_.push_back(sub.destination);
+    for (const auto& condition : sub.conditions) {
+      accesses_.push_back({condition.account, false});
+    }
+    for (const auto& action : sub.actions) {
+      accesses_.push_back({action.account, action.IsWrite()});
+    }
+  }
+  std::sort(destinations_.begin(), destinations_.end());
+  // One subtransaction per destination shard: duplicates are a construction
+  // bug (the factory merges accesses per shard).
+  SSHARD_CHECK(std::adjacent_find(destinations_.begin(),
+                                  destinations_.end()) == destinations_.end());
+  // Collapse accesses per account, write-dominant.
+  std::sort(accesses_.begin(), accesses_.end(),
+            [](const Access& a, const Access& b) {
+              if (a.account != b.account) return a.account < b.account;
+              return a.write > b.write;
+            });
+  accesses_.erase(std::unique(accesses_.begin(), accesses_.end(),
+                              [](const Access& a, const Access& b) {
+                                return a.account == b.account;
+                              }),
+                  accesses_.end());
+}
+
+bool Transaction::ConflictsWith(const Transaction& other) const {
+  // Merge-walk over the two sorted access lists.
+  auto it = accesses_.begin();
+  auto jt = other.accesses_.begin();
+  while (it != accesses_.end() && jt != other.accesses_.end()) {
+    if (it->account < jt->account) {
+      ++it;
+    } else if (jt->account < it->account) {
+      ++jt;
+    } else {
+      if (it->write || jt->write) return true;
+      ++it;
+      ++jt;
+    }
+  }
+  return false;
+}
+
+std::string Transaction::ToString() const {
+  std::ostringstream os;
+  os << "T" << id_ << "{home=S" << home_ << ", injected=@" << injected_
+     << ", subs=[";
+  bool first = true;
+  for (const auto& sub : subs_) {
+    if (!first) os << "; ";
+    first = false;
+    os << "S" << sub.destination << ":";
+    for (const auto& condition : sub.conditions) {
+      os << ' ' << condition.ToString();
+    }
+    for (const auto& action : sub.actions) {
+      os << ' ' << action.ToString();
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace stableshard::txn

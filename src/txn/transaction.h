@@ -1,0 +1,79 @@
+// Transactions and subtransactions (paper Section 3).
+//
+// A transaction T_i is a collection of subtransactions T_{i,a1}..T_{i,aj},
+// each accessing accounts owned by exactly one destination shard. The home
+// shard (where T was injected) splits T and coordinates the 2PC-style
+// vote/confirm commit. Subtransactions of one transaction never conflict
+// with each other and can commit concurrently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/ops.h"
+#include "common/types.h"
+
+namespace stableshard::txn {
+
+/// The per-destination-shard piece of a transaction: a condition check plus
+/// a main action (either may be empty; an all-kNone subtransaction is a
+/// pure read participation).
+struct SubTransaction {
+  ShardId destination = kInvalidShard;
+  std::vector<chain::Condition> conditions;
+  std::vector<chain::Action> actions;
+
+  /// True if any action writes account state.
+  bool HasWrite() const;
+
+  /// Accounts read (condition accounts plus kNone action accounts).
+  std::vector<AccountId> ReadSet() const;
+
+  /// Accounts written (non-kNone action accounts).
+  std::vector<AccountId> WriteSet() const;
+
+  /// Order-insensitive digest of the body (for block payloads).
+  std::uint64_t Digest() const;
+};
+
+class Transaction {
+ public:
+  Transaction() = default;
+  Transaction(TxnId id, ShardId home, Round injected,
+              std::vector<SubTransaction> subs);
+
+  TxnId id() const { return id_; }
+  ShardId home() const { return home_; }
+  Round injected() const { return injected_; }
+  const std::vector<SubTransaction>& subs() const { return subs_; }
+
+  /// Destination shards, ascending, deduplicated (== one per sub).
+  const std::vector<ShardId>& destinations() const { return destinations_; }
+
+  /// Number of shards the transaction accesses (the paper's per-txn k).
+  std::size_t shard_span() const { return destinations_.size(); }
+
+  /// All accounts accessed, with their access mode.
+  struct Access {
+    AccountId account;
+    bool write;
+  };
+  const std::vector<Access>& accesses() const { return accesses_; }
+
+  /// Whether this transaction conflicts with `other`: they access a common
+  /// account and at least one of the two accesses writes it.
+  bool ConflictsWith(const Transaction& other) const;
+
+  std::string ToString() const;
+
+ private:
+  TxnId id_ = kInvalidTxn;
+  ShardId home_ = kInvalidShard;
+  Round injected_ = 0;
+  std::vector<SubTransaction> subs_;
+  std::vector<ShardId> destinations_;
+  std::vector<Access> accesses_;  // sorted by account id
+};
+
+}  // namespace stableshard::txn

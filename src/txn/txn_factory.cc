@@ -1,0 +1,74 @@
+#include "txn/txn_factory.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace stableshard::txn {
+
+Transaction TxnFactory::Make(ShardId home, Round injected,
+                             const std::vector<AccessSpec>& accesses) {
+  SSHARD_CHECK(home < accounts_->shard_count());
+  SSHARD_CHECK(!accesses.empty());
+  std::map<ShardId, SubTransaction> by_shard;
+  for (const AccessSpec& spec : accesses) {
+    const ShardId owner = accounts_->OwnerOf(spec.account);
+    SubTransaction& sub = by_shard[owner];
+    sub.destination = owner;
+    if (spec.has_condition) {
+      sub.conditions.push_back(spec.condition);
+    }
+    if (spec.action.kind != chain::ActionKind::kNone || !spec.has_condition) {
+      chain::Action action = spec.action;
+      action.account = spec.account;
+      sub.actions.push_back(action);
+    }
+  }
+  std::vector<SubTransaction> subs;
+  subs.reserve(by_shard.size());
+  for (auto& [shard, sub] : by_shard) {
+    (void)shard;
+    subs.push_back(std::move(sub));
+  }
+  return Transaction(next_id_++, home, injected, std::move(subs));
+}
+
+Transaction TxnFactory::MakeTouch(ShardId home, Round injected,
+                                  const std::vector<AccountId>& accounts) {
+  std::vector<AccessSpec> accesses;
+  accesses.reserve(accounts.size());
+  for (const AccountId account : accounts) {
+    AccessSpec spec;
+    spec.account = account;
+    spec.write = true;
+    spec.action = {account, chain::ActionKind::kDeposit, 0};
+    accesses.push_back(spec);
+  }
+  return Make(home, injected, accesses);
+}
+
+Transaction TxnFactory::MakeTransfer(ShardId home, Round injected,
+                                     AccountId from, AccountId to,
+                                     chain::Balance amount,
+                                     chain::Balance min_balance) {
+  std::vector<AccessSpec> accesses;
+  {
+    AccessSpec spec;
+    spec.account = from;
+    spec.write = true;
+    spec.has_condition = true;
+    spec.condition = {from, chain::CmpOp::kGe, min_balance};
+    spec.action = {from, chain::ActionKind::kWithdraw, amount};
+    accesses.push_back(spec);
+  }
+  {
+    AccessSpec spec;
+    spec.account = to;
+    spec.write = true;
+    spec.action = {to, chain::ActionKind::kDeposit, amount};
+    accesses.push_back(spec);
+  }
+  return Make(home, injected, accesses);
+}
+
+}  // namespace stableshard::txn

@@ -1,0 +1,313 @@
+// Tests for the adversarial generator: the token buckets must enforce the
+// (rho, b) window property on *every* interval (checked with sliding
+// windows), strategies must respect the k-shard cap, and the Theorem-1
+// pairwise construction must have its exact combinatorial structure.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <tuple>
+
+#include "adversary/adversary.h"
+#include "adversary/strategy.h"
+#include "adversary/token_bucket.h"
+#include "chain/account_map.h"
+#include "common/rng.h"
+#include "net/metric.h"
+
+namespace stableshard::adversary {
+namespace {
+
+TEST(TokenBucket, StartsFullAndCaps) {
+  TokenBucketArray buckets(4, 0.5, 10);
+  EXPECT_DOUBLE_EQ(buckets.tokens(0), 10.0);
+  buckets.Tick();
+  EXPECT_DOUBLE_EQ(buckets.tokens(0), 10.0);  // capped at b
+  buckets.Consume({0});
+  EXPECT_DOUBLE_EQ(buckets.tokens(0), 9.0);
+  buckets.Tick();
+  EXPECT_DOUBLE_EQ(buckets.tokens(0), 9.5);
+}
+
+TEST(TokenBucket, CanConsumeChecksAllShards) {
+  TokenBucketArray buckets(3, 0.1, 1);
+  EXPECT_TRUE(buckets.CanConsume({0, 1, 2}));
+  buckets.Consume({0});
+  EXPECT_FALSE(buckets.CanConsume({0, 1}));
+  EXPECT_TRUE(buckets.CanConsume({1, 2}));
+}
+
+TEST(TokenBucketDeath, OverConsumeAborts) {
+  TokenBucketArray buckets(2, 0.1, 1);
+  buckets.Consume({0});
+  EXPECT_DEATH(buckets.Consume({0}), "SSHARD_CHECK");
+}
+
+// Property: for any interval [t1, t2), admitted congestion per shard is at
+// most rho*(t2-t1) + b (+1 slack for the token granularity at interval
+// boundaries).
+TEST(TokenBucket, WindowPropertyOnGreedyDrain) {
+  const double rho = 0.3;
+  const double b = 8;
+  TokenBucketArray buckets(1, rho, b);
+  std::vector<int> per_round;
+  Rng rng(5);
+  for (Round r = 0; r < 500; ++r) {
+    if (r > 0) buckets.Tick();
+    int admitted = 0;
+    // Greedy adversary: drain whenever possible, plus random idleness to
+    // vary the windows.
+    const bool greedy = rng.NextBool(0.8);
+    while (greedy && buckets.CanConsume({0})) {
+      buckets.Consume({0});
+      ++admitted;
+    }
+    per_round.push_back(admitted);
+  }
+  for (std::size_t t1 = 0; t1 < per_round.size(); t1 += 7) {
+    int window_sum = 0;
+    for (std::size_t t2 = t1; t2 < per_round.size(); ++t2) {
+      window_sum += per_round[t2];
+      const double limit = rho * static_cast<double>(t2 - t1 + 1) + b + 1.0;
+      EXPECT_LE(window_sum, limit) << "window [" << t1 << "," << t2 << "]";
+    }
+  }
+}
+
+chain::AccountMap MakeMap(ShardId shards, AccountId accounts) {
+  return chain::AccountMap::RoundRobin(shards, accounts);
+}
+
+TEST(UniformRandomStrategy, RespectsKCap) {
+  const auto map = MakeMap(16, 64);
+  RandomStrategyOptions options;
+  options.max_shards_per_txn = 5;
+  options.exact_k = false;
+  UniformRandomStrategy strategy(map, options);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    Candidate candidate;
+    ASSERT_TRUE(strategy.Next(0, rng, &candidate));
+    EXPECT_GE(candidate.accesses.size(), 1u);
+    EXPECT_LE(candidate.accesses.size(), 5u);
+    EXPECT_LE(candidate.TouchedShards(map).size(), 5u);
+    EXPECT_LT(candidate.home, 16u);
+  }
+}
+
+TEST(UniformRandomStrategy, ExactKAccounts) {
+  const auto map = MakeMap(16, 64);
+  RandomStrategyOptions options;
+  options.max_shards_per_txn = 4;
+  options.exact_k = true;
+  UniformRandomStrategy strategy(map, options);
+  Rng rng(2);
+  Candidate candidate;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(strategy.Next(0, rng, &candidate));
+    EXPECT_EQ(candidate.accesses.size(), 4u);
+  }
+}
+
+TEST(HotspotStrategy, AlwaysTouchesHotspot) {
+  const auto map = MakeMap(8, 32);
+  RandomStrategyOptions options;
+  options.max_shards_per_txn = 3;
+  HotspotStrategy strategy(map, /*hotspot=*/7, options);
+  Rng rng(3);
+  Candidate candidate;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(strategy.Next(0, rng, &candidate));
+    bool touches = false;
+    for (const auto& access : candidate.accesses) {
+      if (access.account == 7) touches = true;
+      EXPECT_LT(access.account, 32u);
+    }
+    EXPECT_TRUE(touches);
+  }
+}
+
+TEST(PairwiseConflictStrategy, ExactTheorem1Structure) {
+  const std::uint32_t k = 4;  // needs s >= k(k+1)/2 = 10
+  const auto map = MakeMap(10, 10);
+  PairwiseConflictStrategy strategy(map, k);
+  EXPECT_EQ(strategy.group_size(), k + 1);
+  Rng rng(4);
+  std::vector<std::vector<ShardId>> members;
+  for (std::uint32_t i = 0; i <= k; ++i) {
+    Candidate candidate;
+    ASSERT_TRUE(strategy.Next(0, rng, &candidate));
+    members.push_back(candidate.TouchedShards(map));
+    EXPECT_EQ(members.back().size(), k);
+  }
+  // Every pair of group members shares exactly one shard.
+  for (std::uint32_t i = 0; i <= k; ++i) {
+    for (std::uint32_t j = i + 1; j <= k; ++j) {
+      int shared = 0;
+      for (const ShardId shard : members[i]) {
+        for (const ShardId other : members[j]) {
+          if (shard == other) ++shared;
+        }
+      }
+      EXPECT_EQ(shared, 1) << "pair " << i << "," << j;
+    }
+  }
+  // The group repeats cyclically.
+  Candidate candidate;
+  ASSERT_TRUE(strategy.Next(0, rng, &candidate));
+  EXPECT_EQ(candidate.TouchedShards(map), members[0]);
+}
+
+TEST(PairwiseConflictStrategyDeath, RequiresEnoughShards) {
+  const auto map = MakeMap(5, 5);  // k=4 needs 10 shards
+  EXPECT_DEATH(PairwiseConflictStrategy(map, 4), "SSHARD_CHECK");
+}
+
+TEST(LocalStrategy, StaysWithinRadius) {
+  const auto map = MakeMap(16, 16);
+  net::LineMetric metric(16);
+  RandomStrategyOptions options;
+  options.max_shards_per_txn = 3;
+  options.exact_k = false;
+  LocalStrategy strategy(map, metric, /*radius=*/2, options);
+  Rng rng(5);
+  Candidate candidate;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(strategy.Next(0, rng, &candidate));
+    for (const ShardId shard : candidate.TouchedShards(map)) {
+      EXPECT_LE(metric.distance(candidate.home, shard), 2u);
+    }
+  }
+}
+
+TEST(SingleShardStrategy, OneShardPerTxn) {
+  const auto map = MakeMap(8, 16);
+  SingleShardStrategy strategy(map);
+  Rng rng(6);
+  Candidate candidate;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(strategy.Next(0, rng, &candidate));
+    EXPECT_EQ(candidate.TouchedShards(map).size(), 1u);
+    EXPECT_EQ(candidate.home,
+              map.OwnerOf(candidate.accesses.front().account));
+  }
+}
+
+TEST(Adversary, InjectionRespectsWindowBoundPerShard) {
+  const auto map = MakeMap(8, 8);
+  AdversaryConfig config;
+  config.rho = 0.2;
+  config.burstiness = 5;
+  config.burst_round = 0;
+  config.seed = 7;
+  RandomStrategyOptions options;
+  options.max_shards_per_txn = 3;
+  Adversary adversary(config, map,
+                      std::make_unique<UniformRandomStrategy>(map, options));
+
+  const Round rounds = 400;
+  std::vector<std::vector<int>> congestion(8, std::vector<int>(rounds, 0));
+  for (Round r = 0; r < rounds; ++r) {
+    for (const auto& txn : adversary.GenerateRound(r)) {
+      for (const ShardId shard : txn.destinations()) {
+        ++congestion[shard][r];
+      }
+    }
+  }
+  for (ShardId shard = 0; shard < 8; ++shard) {
+    for (Round t1 = 0; t1 < rounds; t1 += 13) {
+      int window = 0;
+      for (Round t2 = t1; t2 < rounds; ++t2) {
+        window += congestion[shard][t2];
+        const double limit =
+            config.rho * static_cast<double>(t2 - t1 + 1) + config.burstiness +
+            1.0;
+        ASSERT_LE(window, limit)
+            << "shard " << shard << " window [" << t1 << "," << t2 << "]";
+      }
+    }
+  }
+}
+
+TEST(Adversary, BurstHappensOnce) {
+  const auto map = MakeMap(8, 8);
+  AdversaryConfig config;
+  config.rho = 0.05;
+  config.burstiness = 20;
+  config.burst_round = 10;
+  RandomStrategyOptions options;
+  options.max_shards_per_txn = 2;
+  Adversary adversary(config, map,
+                      std::make_unique<UniformRandomStrategy>(map, options));
+  std::vector<std::size_t> injected_per_round;
+  for (Round r = 0; r < 50; ++r) {
+    injected_per_round.push_back(adversary.GenerateRound(r).size());
+  }
+  // Before the burst round: steady trickle only.
+  for (Round r = 0; r < 10; ++r) {
+    EXPECT_LE(injected_per_round[r], 3u);
+  }
+  // The burst round injects far more than the steady rate.
+  EXPECT_GT(injected_per_round[10], 10u);
+  EXPECT_GT(adversary.stats().burst_injected, 10u);
+}
+
+TEST(Adversary, NoBurstWhenDisabled) {
+  const auto map = MakeMap(4, 4);
+  AdversaryConfig config;
+  config.rho = 0.1;
+  config.burstiness = 50;
+  config.burst_round = kNoRound;
+  Adversary adversary(config, map,
+                      std::make_unique<SingleShardStrategy>(map));
+  std::uint64_t max_per_round = 0;
+  for (Round r = 0; r < 100; ++r) {
+    max_per_round =
+        std::max<std::uint64_t>(max_per_round, adversary.GenerateRound(r).size());
+  }
+  // Paced injection: ~rho * s congestion per round, never the full burst.
+  EXPECT_LE(max_per_round, 5u);
+  EXPECT_EQ(adversary.stats().burst_injected, 0u);
+}
+
+TEST(Adversary, SteadyRateMatchesRho) {
+  const auto map = MakeMap(8, 8);
+  AdversaryConfig config;
+  config.rho = 0.25;
+  config.burstiness = 4;
+  config.burst_round = kNoRound;
+  Adversary adversary(config, map,
+                      std::make_unique<SingleShardStrategy>(map));
+  std::uint64_t congestion = 0;
+  const Round rounds = 2000;
+  for (Round r = 0; r < rounds; ++r) {
+    for (const auto& txn : adversary.GenerateRound(r)) {
+      congestion += txn.destinations().size();
+    }
+  }
+  // Aggregate congestion should track rho * s per round within 15%.
+  const double expected = config.rho * 8 * static_cast<double>(rounds);
+  EXPECT_GT(static_cast<double>(congestion), 0.85 * expected);
+  EXPECT_LE(static_cast<double>(congestion), 1.05 * expected);
+}
+
+TEST(Adversary, TxnIdsAreUniqueAndOrdered) {
+  const auto map = MakeMap(4, 4);
+  AdversaryConfig config;
+  config.rho = 0.5;
+  config.burstiness = 10;
+  Adversary adversary(config, map,
+                      std::make_unique<SingleShardStrategy>(map));
+  TxnId last = 0;
+  bool first = true;
+  for (Round r = 0; r < 50; ++r) {
+    for (const auto& txn : adversary.GenerateRound(r)) {
+      if (!first) EXPECT_GT(txn.id(), last);
+      last = txn.id();
+      first = false;
+      EXPECT_EQ(txn.injected(), r);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stableshard::adversary

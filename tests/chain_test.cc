@@ -1,0 +1,239 @@
+// Unit tests for src/chain: condition/action semantics (Example 1), account
+// maps, account stores, block hashing & tamper detection, local chain
+// integrity, global reconstruction and serializability checking.
+#include <gtest/gtest.h>
+
+#include "chain/account_map.h"
+#include "chain/account_store.h"
+#include "chain/block.h"
+#include "chain/global_chain.h"
+#include "chain/local_chain.h"
+#include "chain/ops.h"
+#include "common/rng.h"
+
+namespace stableshard::chain {
+namespace {
+
+TEST(Condition, AllComparators) {
+  EXPECT_TRUE((Condition{0, CmpOp::kGe, 5}).Holds(5));
+  EXPECT_FALSE((Condition{0, CmpOp::kGt, 5}).Holds(5));
+  EXPECT_TRUE((Condition{0, CmpOp::kLe, 5}).Holds(5));
+  EXPECT_FALSE((Condition{0, CmpOp::kLt, 5}).Holds(5));
+  EXPECT_TRUE((Condition{0, CmpOp::kEq, 5}).Holds(5));
+  EXPECT_FALSE((Condition{0, CmpOp::kNe, 5}).Holds(5));
+  EXPECT_TRUE((Condition{0, CmpOp::kNe, 4}).Holds(5));
+}
+
+TEST(Action, WithdrawValidity) {
+  const Action withdraw{0, ActionKind::kWithdraw, 100};
+  EXPECT_TRUE(withdraw.IsValidOn(100));
+  EXPECT_TRUE(withdraw.IsValidOn(150));
+  EXPECT_FALSE(withdraw.IsValidOn(99));
+  EXPECT_EQ(withdraw.Apply(150), 50);
+}
+
+TEST(Action, DepositAndSet) {
+  const Action deposit{0, ActionKind::kDeposit, 10};
+  EXPECT_EQ(deposit.Apply(5), 15);
+  const Action set{0, ActionKind::kSet, 7};
+  EXPECT_EQ(set.Apply(100), 7);
+  const Action none{0, ActionKind::kNone, 0};
+  EXPECT_FALSE(none.IsWrite());
+  EXPECT_TRUE(deposit.IsWrite());
+}
+
+TEST(AccountMap, RoundRobinOnePerShard) {
+  const auto map = AccountMap::RoundRobin(8, 8);
+  for (AccountId a = 0; a < 8; ++a) {
+    EXPECT_EQ(map.OwnerOf(a), a % 8);
+    EXPECT_EQ(map.AccountsOf(static_cast<ShardId>(a)).size(), 1u);
+  }
+}
+
+TEST(AccountMap, RoundRobinWraps) {
+  const auto map = AccountMap::RoundRobin(4, 10);
+  EXPECT_EQ(map.OwnerOf(5), 1u);
+  EXPECT_EQ(map.AccountsOf(0).size(), 3u);  // accounts 0, 4, 8
+  EXPECT_EQ(map.AccountsOf(3).size(), 2u);  // accounts 3, 7
+}
+
+TEST(AccountMap, RandomCoversEveryShard) {
+  Rng rng(11);
+  const auto map = AccountMap::Random(16, 16, rng);
+  for (ShardId shard = 0; shard < 16; ++shard) {
+    EXPECT_GE(map.AccountsOf(shard).size(), 1u)
+        << "shard " << shard << " has no accounts";
+  }
+  // Partition: each account belongs to exactly one shard.
+  std::size_t total = 0;
+  for (ShardId shard = 0; shard < 16; ++shard) {
+    total += map.AccountsOf(shard).size();
+  }
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(AccountMap, RandomDeterministicPerSeed) {
+  Rng rng1(5), rng2(5);
+  const auto a = AccountMap::Random(8, 32, rng1);
+  const auto b = AccountMap::Random(8, 32, rng2);
+  for (AccountId acct = 0; acct < 32; ++acct) {
+    EXPECT_EQ(a.OwnerOf(acct), b.OwnerOf(acct));
+  }
+}
+
+TEST(AccountStore, DefaultBalanceLazy) {
+  AccountStore store(1000);
+  EXPECT_EQ(store.BalanceOf(42), 1000);
+  EXPECT_EQ(store.materialized_accounts(), 0u);
+  store.Apply({42, ActionKind::kWithdraw, 300});
+  EXPECT_EQ(store.BalanceOf(42), 700);
+  EXPECT_EQ(store.materialized_accounts(), 1u);
+}
+
+TEST(AccountStore, CheckAndValidity) {
+  AccountStore store(100);
+  EXPECT_TRUE(store.Check({7, CmpOp::kGe, 100}));
+  EXPECT_FALSE(store.Check({7, CmpOp::kGt, 100}));
+  EXPECT_TRUE(store.IsValid({7, ActionKind::kWithdraw, 100}));
+  EXPECT_FALSE(store.IsValid({7, ActionKind::kWithdraw, 101}));
+}
+
+TEST(AccountStoreDeath, ApplyInvalidAborts) {
+  AccountStore store(10);
+  EXPECT_DEATH(store.Apply({0, ActionKind::kWithdraw, 11}), "SSHARD_CHECK");
+}
+
+TEST(Block, HashChangesOnAnyFieldTamper) {
+  Block block;
+  block.height = 3;
+  block.parent = 0x1234;
+  block.txn = 99;
+  block.shard = 2;
+  block.commit_round = 17;
+  block.payload_digest = 0xabcd;
+  block.hash = ComputeBlockHash(block);
+
+  Block tampered = block;
+  tampered.txn = 100;
+  EXPECT_NE(ComputeBlockHash(tampered), block.hash);
+  tampered = block;
+  tampered.commit_round = 18;
+  EXPECT_NE(ComputeBlockHash(tampered), block.hash);
+  tampered = block;
+  tampered.payload_digest ^= 1;
+  EXPECT_NE(ComputeBlockHash(tampered), block.hash);
+}
+
+TEST(LocalChain, AppendAndVerify) {
+  LocalChain chain(4);
+  EXPECT_TRUE(chain.Verify());
+  chain.Append(1, 10, 0x1);
+  chain.Append(2, 12, 0x2);
+  chain.Append(3, 20, 0x3);
+  EXPECT_EQ(chain.size(), 3u);
+  EXPECT_TRUE(chain.Verify());
+  EXPECT_EQ(chain.blocks()[1].parent, chain.blocks()[0].hash);
+}
+
+TEST(LocalChain, DetectsTamper) {
+  LocalChain chain(0);
+  chain.Append(1, 10, 0x1);
+  chain.Append(2, 12, 0x2);
+  chain.MutableBlockForTest(0).txn = 42;
+  EXPECT_FALSE(chain.Verify());
+}
+
+TEST(GlobalChain, MergesAndOrders) {
+  std::vector<LocalChain> chains;
+  chains.emplace_back(0);
+  chains.emplace_back(1);
+  chains[0].Append(/*txn=*/5, /*round=*/10, 0x1);
+  chains[1].Append(/*txn=*/5, /*round=*/10, 0x2);
+  chains[0].Append(/*txn=*/7, /*round=*/14, 0x3);
+
+  const auto result = ReconstructGlobalChain(chains);
+  ASSERT_TRUE(result.consistent) << result.error;
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.entries[0].txn, 5u);
+  EXPECT_EQ(result.entries[0].shards, (std::vector<ShardId>{0, 1}));
+  EXPECT_EQ(result.entries[1].txn, 7u);
+}
+
+TEST(GlobalChain, SameRoundModeRejectsSplitCommit) {
+  std::vector<LocalChain> chains;
+  chains.emplace_back(0);
+  chains.emplace_back(1);
+  chains[0].Append(5, 10, 0x1);
+  chains[1].Append(5, 12, 0x2);  // different round
+  EXPECT_FALSE(ReconstructGlobalChain(chains, AtomicityMode::kSameRound)
+                   .consistent);
+  const auto ordered =
+      ReconstructGlobalChain(chains, AtomicityMode::kOrdered);
+  EXPECT_TRUE(ordered.consistent) << ordered.error;
+  EXPECT_EQ(ordered.entries[0].commit_round, 10u);
+  EXPECT_EQ(ordered.entries[0].last_commit_round, 12u);
+}
+
+TEST(GlobalChain, RejectsDuplicateBlock) {
+  std::vector<LocalChain> chains;
+  chains.emplace_back(0);
+  chains[0].Append(5, 10, 0x1);
+  chains[0].Append(5, 11, 0x1);  // same (txn, shard) twice
+  EXPECT_FALSE(ReconstructGlobalChain(chains).consistent);
+}
+
+TEST(GlobalChain, RejectsTamperedChain) {
+  std::vector<LocalChain> chains;
+  chains.emplace_back(0);
+  chains[0].Append(5, 10, 0x1);
+  chains[0].MutableBlockForTest(0).commit_round = 99;
+  EXPECT_FALSE(ReconstructGlobalChain(chains).consistent);
+}
+
+TEST(Serializability, ConsistentOrdersPass) {
+  std::vector<LocalChain> chains;
+  chains.emplace_back(0);
+  chains.emplace_back(1);
+  // Both shards order txn 1 before txn 2.
+  chains[0].Append(1, 10, 0);
+  chains[0].Append(2, 12, 0);
+  chains[1].Append(1, 11, 0);
+  chains[1].Append(2, 15, 0);
+  EXPECT_TRUE(CheckSerializable(chains));
+}
+
+TEST(Serializability, OppositeOrdersFail) {
+  std::vector<LocalChain> chains;
+  chains.emplace_back(0);
+  chains.emplace_back(1);
+  chains[0].Append(1, 10, 0);
+  chains[0].Append(2, 12, 0);
+  chains[1].Append(2, 11, 0);
+  chains[1].Append(1, 15, 0);
+  EXPECT_FALSE(CheckSerializable(chains));
+}
+
+TEST(Serializability, LongerCycleDetected) {
+  std::vector<LocalChain> chains;
+  chains.emplace_back(0);
+  chains.emplace_back(1);
+  chains.emplace_back(2);
+  chains[0].Append(1, 1, 0);
+  chains[0].Append(2, 2, 0);
+  chains[1].Append(2, 1, 0);
+  chains[1].Append(3, 2, 0);
+  chains[2].Append(3, 1, 0);
+  chains[2].Append(1, 2, 0);  // 1 < 2 < 3 < 1: cycle
+  EXPECT_FALSE(CheckSerializable(chains));
+}
+
+TEST(Serializability, EmptyAndSingleton) {
+  std::vector<LocalChain> chains;
+  chains.emplace_back(0);
+  EXPECT_TRUE(CheckSerializable(chains));
+  chains[0].Append(1, 1, 0);
+  EXPECT_TRUE(CheckSerializable(chains));
+}
+
+}  // namespace
+}  // namespace stableshard::chain

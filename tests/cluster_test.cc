@@ -1,0 +1,226 @@
+// Tests for the hierarchical cluster decomposition (Section 6.1): leader
+// validity, diameter bounds, coverage (property iii), bounded membership
+// (property ii), and home-cluster lookup across topologies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "cluster/hierarchy.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "net/metric.h"
+#include "net/topology_factory.h"
+
+namespace stableshard::cluster {
+namespace {
+
+void ExpectLeadersValid(const Hierarchy& hierarchy,
+                        const net::ShardMetric& metric) {
+  for (const Cluster& cluster : hierarchy.clusters()) {
+    if (!cluster.HasLeader()) continue;
+    EXPECT_TRUE(cluster.Contains(cluster.leader));
+    const Distance radius =
+        cluster.layer >= 31 ? metric.Diameter()
+                            : static_cast<Distance>((1u << cluster.layer) - 1);
+    for (const ShardId shard : metric.Neighborhood(cluster.leader, radius)) {
+      EXPECT_TRUE(cluster.Contains(shard))
+          << "leader " << cluster.leader << " neighborhood escapes cluster "
+          << cluster.id << " (layer " << cluster.layer << ")";
+    }
+  }
+}
+
+void ExpectHomeClusterSound(const Hierarchy& hierarchy,
+                            const net::ShardMetric& metric) {
+  // For every (home, x) the returned cluster must contain the whole
+  // x-neighborhood and have a leader.
+  for (ShardId home = 0; home < metric.shard_count(); ++home) {
+    for (Distance x = 0; x <= metric.Diameter(); ++x) {
+      const Cluster& cluster = hierarchy.FindHomeCluster(home, x);
+      EXPECT_TRUE(cluster.HasLeader());
+      for (const ShardId shard : metric.Neighborhood(home, x)) {
+        EXPECT_TRUE(cluster.Contains(shard));
+      }
+    }
+  }
+}
+
+TEST(LineShifted, PaperConstructionOn64Shards) {
+  net::LineMetric metric(64);
+  const auto hierarchy = Hierarchy::BuildLineShifted(metric);
+  // Layer 0 clusters contain two shards each (paper Section 7).
+  std::size_t layer0_full = 0;
+  for (const Cluster& cluster : hierarchy.clusters()) {
+    if (cluster.layer == 0 && cluster.sublayer == 0) {
+      EXPECT_EQ(cluster.size(), 2u);
+      ++layer0_full;
+    }
+  }
+  EXPECT_EQ(layer0_full, 32u);
+  // The top layer has a cluster spanning all shards.
+  bool top_found = false;
+  for (const Cluster& cluster : hierarchy.clusters()) {
+    if (cluster.size() == 64) top_found = true;
+  }
+  EXPECT_TRUE(top_found);
+  ExpectLeadersValid(hierarchy, metric);
+  ExpectHomeClusterSound(hierarchy, metric);
+}
+
+TEST(LineShifted, SublayersArePartitions) {
+  net::LineMetric metric(32);
+  const auto hierarchy = Hierarchy::BuildLineShifted(metric);
+  for (std::uint32_t layer = 0; layer < hierarchy.layer_count(); ++layer) {
+    for (std::uint32_t sub = 0; sub < hierarchy.sublayer_count(); ++sub) {
+      std::vector<int> coverage(32, 0);
+      bool sublayer_exists = false;
+      for (const Cluster& cluster : hierarchy.clusters()) {
+        if (cluster.layer != layer || cluster.sublayer != sub) continue;
+        sublayer_exists = true;
+        for (const ShardId shard : cluster.shards) ++coverage[shard];
+      }
+      if (!sublayer_exists) continue;
+      for (ShardId shard = 0; shard < 32; ++shard) {
+        EXPECT_LE(coverage[shard], 1)
+            << "shard " << shard << " in two clusters of sublayer (" << layer
+            << "," << sub << ")";
+      }
+    }
+  }
+}
+
+TEST(LineShifted, DiametersGrowGeometrically) {
+  net::LineMetric metric(64);
+  const auto hierarchy = Hierarchy::BuildLineShifted(metric);
+  for (std::uint32_t layer = 0; layer < hierarchy.layer_count(); ++layer) {
+    // Layer-l clusters are intervals of <= 2^{l+1} shards: diameter < 2^{l+1}.
+    EXPECT_LT(hierarchy.layer_diameter(layer),
+              (std::uint64_t{2} << layer) + 1);
+  }
+}
+
+TEST(LineShifted, SingleShardDegenerate) {
+  net::LineMetric metric(1);
+  const auto hierarchy = Hierarchy::BuildLineShifted(metric);
+  const Cluster& cluster = hierarchy.FindHomeCluster(0, 0);
+  EXPECT_TRUE(cluster.HasLeader());
+  EXPECT_EQ(cluster.size(), 1u);
+}
+
+struct CoverCase {
+  net::TopologyKind topology;
+  ShardId shards;
+};
+
+class SparseCoverProperty : public ::testing::TestWithParam<CoverCase> {};
+
+TEST_P(SparseCoverProperty, AllSectionSixOneProperties) {
+  const auto param = GetParam();
+  Rng rng(99);
+  const auto metric = net::MakeMetric(param.topology, param.shards, &rng);
+  const auto hierarchy = Hierarchy::BuildSparseCover(*metric);
+
+  ExpectLeadersValid(hierarchy, *metric);
+  ExpectHomeClusterSound(hierarchy, *metric);
+
+  // Property (i): layer-l diameter O(2^l) — balls of radius 2^{l+1}-1 have
+  // diameter at most 2*(2^{l+1}-1).
+  for (std::uint32_t layer = 0; layer < hierarchy.layer_count(); ++layer) {
+    EXPECT_LE(hierarchy.layer_diameter(layer),
+              2 * ((std::uint64_t{2} << layer) - 1));
+  }
+
+  // Property (iii) holds *per layer* for the net construction: every
+  // shard's (2^l - 1)-neighborhood is inside some layer-l cluster.
+  for (std::uint32_t layer = 0; layer < hierarchy.layer_count(); ++layer) {
+    const Distance radius = static_cast<Distance>((1u << layer) - 1);
+    for (ShardId shard = 0; shard < param.shards; ++shard) {
+      const auto neighborhood = metric->Neighborhood(shard, radius);
+      bool covered = false;
+      for (const std::uint32_t id : hierarchy.clusters_containing(shard)) {
+        const Cluster& cluster = hierarchy.clusters()[id];
+        if (cluster.layer != layer) continue;
+        bool all = true;
+        for (const ShardId other : neighborhood) {
+          if (!cluster.Contains(other)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "layer " << layer << " shard " << shard;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, SparseCoverProperty,
+    ::testing::Values(CoverCase{net::TopologyKind::kLine, 64},
+                      CoverCase{net::TopologyKind::kLine, 17},
+                      CoverCase{net::TopologyKind::kRing, 32},
+                      CoverCase{net::TopologyKind::kGrid, 16},
+                      CoverCase{net::TopologyKind::kRandomGeometric, 24},
+                      CoverCase{net::TopologyKind::kUniform, 16}),
+    [](const ::testing::TestParamInfo<CoverCase>& info) {
+      return net::TopologyName(info.param.topology) + "_s" +
+             std::to_string(info.param.shards);
+    });
+
+TEST(SparseCover, MembershipBoundedOnLine) {
+  // Property (ii): each shard in O(log s) clusters per layer. For the
+  // 1-dimensional net construction the overlap per layer is a small
+  // constant; assert a generous bound.
+  net::LineMetric metric(64);
+  const auto hierarchy = Hierarchy::BuildSparseCover(metric);
+  for (std::uint32_t layer = 0; layer < hierarchy.layer_count(); ++layer) {
+    EXPECT_LE(hierarchy.MaxMembership(layer), 8u) << "layer " << layer;
+  }
+}
+
+TEST(HomeCluster, PrefersLowestLayer) {
+  net::LineMetric metric(64);
+  const auto hierarchy = Hierarchy::BuildLineShifted(metric);
+  // x = 0: the home shard alone; the lowest layer that contains shard 0
+  // with a leader must be layer 0.
+  const Cluster& tight = hierarchy.FindHomeCluster(0, 0);
+  EXPECT_EQ(tight.layer, 0u);
+  // x = diameter: must use a full cluster.
+  const Cluster& wide = hierarchy.FindHomeCluster(0, 63);
+  EXPECT_EQ(wide.size(), 64u);
+}
+
+TEST(HomeCluster, MonotoneInRadius) {
+  net::LineMetric metric(32);
+  const auto hierarchy = Hierarchy::BuildLineShifted(metric);
+  for (ShardId home = 0; home < 32; home += 5) {
+    std::uint32_t last_layer = 0;
+    for (Distance x = 0; x < 32; ++x) {
+      const Cluster& cluster = hierarchy.FindHomeCluster(home, x);
+      EXPECT_GE(cluster.layer + 1, last_layer)
+          << "layer decreased as radius grew";
+      last_layer = std::max(last_layer, cluster.layer);
+    }
+  }
+}
+
+TEST(Hierarchy, ClustersContainingSortedByLevel) {
+  net::LineMetric metric(16);
+  const auto hierarchy = Hierarchy::BuildLineShifted(metric);
+  for (ShardId shard = 0; shard < 16; ++shard) {
+    const auto& ids = hierarchy.clusters_containing(shard);
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      const Cluster& prev = hierarchy.clusters()[ids[i - 1]];
+      const Cluster& next = hierarchy.clusters()[ids[i]];
+      EXPECT_LE(std::tuple(prev.layer, prev.sublayer, prev.id),
+                std::tuple(next.layer, next.sublayer, next.id));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stableshard::cluster

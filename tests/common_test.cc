@@ -1,0 +1,238 @@
+// Unit tests for src/common: RNG determinism and distribution sanity,
+// integer math helpers (exactness of the paper's bound formulas), CSV
+// output, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace stableshard {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 64ull, 1000003ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBoundedCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(13);
+  for (std::uint64_t population : {8ull, 64ull, 10000ull}) {
+    for (std::uint64_t count : {1ull, 4ull, 8ull}) {
+      if (count > population) continue;
+      const auto sample = rng.SampleWithoutReplacement(population, count);
+      EXPECT_EQ(sample.size(), count);
+      std::set<std::uint64_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), count);
+      for (const auto v : sample) EXPECT_LT(v, population);
+    }
+  }
+}
+
+TEST(Rng, SampleFullPopulationIsPermutation) {
+  Rng rng(17);
+  const auto sample = rng.SampleWithoutReplacement(16, 16);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 16u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.Shuffle(std::span<int>(shuffled));
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(MathUtil, CeilSqrtExactValues) {
+  EXPECT_EQ(CeilSqrt(0), 0u);
+  EXPECT_EQ(CeilSqrt(1), 1u);
+  EXPECT_EQ(CeilSqrt(2), 2u);
+  EXPECT_EQ(CeilSqrt(4), 2u);
+  EXPECT_EQ(CeilSqrt(5), 3u);
+  EXPECT_EQ(CeilSqrt(63), 8u);
+  EXPECT_EQ(CeilSqrt(64), 8u);
+  EXPECT_EQ(CeilSqrt(65), 9u);
+}
+
+TEST(MathUtil, CeilSqrtMatchesDefinitionUpTo10k) {
+  for (std::uint64_t x = 1; x <= 10000; ++x) {
+    const std::uint64_t r = CeilSqrt(x);
+    EXPECT_GE(r * r, x);
+    EXPECT_LT((r - 1) * (r - 1), x);
+  }
+}
+
+TEST(MathUtil, FloorSqrtMatchesDefinition) {
+  for (std::uint64_t x = 1; x <= 10000; ++x) {
+    const std::uint64_t r = FloorSqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+  }
+}
+
+TEST(MathUtil, Log2Helpers) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(64), 6u);
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(64), 6u);
+  EXPECT_EQ(CeilLog2(65), 7u);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+TEST(MathUtil, BdsStableRateBoundPicksMax) {
+  // k = 8, s = 64: max{1/144, 1/(18*8)} = 1/144.
+  EXPECT_DOUBLE_EQ(BdsStableRateBound(8, 64), 1.0 / 144.0);
+  // k = 2, s = 64: max{1/36, 1/144} = 1/36.
+  EXPECT_DOUBLE_EQ(BdsStableRateBound(2, 64), 1.0 / 36.0);
+}
+
+TEST(MathUtil, AbsoluteStabilityUpperBound) {
+  // k = 8, s = 64: max{2/9, 2/floor(sqrt(128))=2/11}.
+  EXPECT_DOUBLE_EQ(AbsoluteStabilityUpperBound(8, 64), 2.0 / 9.0);
+  // k = 1: bound capped at 1.
+  EXPECT_DOUBLE_EQ(AbsoluteStabilityUpperBound(1, 64), 1.0);
+}
+
+TEST(MathUtil, MinKSqrtS) {
+  EXPECT_EQ(MinKSqrtS(8, 64), 8u);
+  EXPECT_EQ(MinKSqrtS(10, 64), 8u);
+  EXPECT_EQ(MinKSqrtS(2, 64), 2u);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b", "c"});
+    ASSERT_TRUE(csv.ok());
+    csv.Row(1, 2.5, "x");
+    csv.Row("y", 3, 4);
+    csv.Flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b,c");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5,x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "y,3,4");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(64);
+  ThreadPool::ParallelFor(64, [&](std::size_t i) { hits[i].fetch_add(1); },
+                          8);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(Mix64, DistinctInputsMix) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace stableshard

@@ -1,0 +1,160 @@
+// Tests for the consensus substrate: PBFT agreement under the n > 3f bound
+// with honest, silent and equivocating nodes, view changes on faulty
+// primaries, and the cluster-sending guarantees the round abstraction
+// relies on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "consensus/cluster_sending.h"
+#include "consensus/pbft.h"
+#include "consensus/round_model.h"
+
+namespace stableshard::consensus {
+namespace {
+
+PbftConfig MakeConfig(std::uint32_t nodes,
+                      std::vector<NodeBehavior> behaviors = {}) {
+  PbftConfig config;
+  config.nodes = nodes;
+  config.behaviors = std::move(behaviors);
+  return config;
+}
+
+TEST(Pbft, AllHonestDecidesInOneView) {
+  Rng rng(1);
+  const auto result = RunPbft(MakeConfig(4), 0xfeed, /*primary=*/0, rng);
+  EXPECT_TRUE(result.decided);
+  EXPECT_EQ(result.value, 0xfeedu);
+  EXPECT_TRUE(result.all_honest_agree);
+  EXPECT_EQ(result.views_used, 1u);
+}
+
+TEST(Pbft, SilentPrimaryTriggersViewChange) {
+  Rng rng(2);
+  auto config = MakeConfig(4, {NodeBehavior::kSilent, NodeBehavior::kHonest,
+                               NodeBehavior::kHonest, NodeBehavior::kHonest});
+  const auto result = RunPbft(config, 0xfeed, /*primary=*/0, rng);
+  EXPECT_TRUE(result.decided);
+  EXPECT_EQ(result.value, 0xfeedu);
+  EXPECT_GT(result.views_used, 1u);
+  EXPECT_TRUE(result.all_honest_agree);
+}
+
+TEST(Pbft, OneFaultOfFourTolerated) {
+  for (const auto behavior :
+       {NodeBehavior::kSilent, NodeBehavior::kEquivocating}) {
+    for (std::uint32_t faulty_node = 0; faulty_node < 4; ++faulty_node) {
+      Rng rng(faulty_node + 10);
+      std::vector<NodeBehavior> behaviors(4, NodeBehavior::kHonest);
+      behaviors[faulty_node] = behavior;
+      const auto result =
+          RunPbft(MakeConfig(4, behaviors), 0xabc, /*primary=*/0, rng);
+      EXPECT_TRUE(result.decided)
+          << "faulty node " << faulty_node << " behavior "
+          << static_cast<int>(behavior);
+      EXPECT_TRUE(result.all_honest_agree);
+      EXPECT_EQ(result.value, 0xabcu);
+    }
+  }
+}
+
+TEST(Pbft, QuorumMath) {
+  EXPECT_EQ(MakeConfig(4).ToleratedFaults(), 1u);
+  EXPECT_EQ(MakeConfig(4).Quorum(), 3u);
+  EXPECT_EQ(MakeConfig(7).ToleratedFaults(), 2u);
+  EXPECT_EQ(MakeConfig(7).Quorum(), 5u);
+  EXPECT_EQ(MakeConfig(10).ToleratedFaults(), 3u);
+}
+
+TEST(Pbft, TooManySilentNodesCannotDecide) {
+  // 4 nodes, 2 silent: quorum of 3 honest prepares unreachable.
+  Rng rng(3);
+  auto config = MakeConfig(4, {NodeBehavior::kSilent, NodeBehavior::kSilent,
+                               NodeBehavior::kHonest, NodeBehavior::kHonest});
+  const auto result = RunPbft(config, 0x1, 0, rng);
+  EXPECT_FALSE(result.decided);
+}
+
+TEST(Pbft, LargeShardWithMaxFaults) {
+  // n = 13, f = 4 = (n-1)/3: still decides.
+  std::vector<NodeBehavior> behaviors(13, NodeBehavior::kHonest);
+  for (int i = 0; i < 4; ++i) behaviors[i] = NodeBehavior::kEquivocating;
+  Rng rng(4);
+  const auto result = RunPbft(MakeConfig(13, behaviors), 0x77, 5, rng);
+  EXPECT_TRUE(result.decided);
+  EXPECT_TRUE(result.all_honest_agree);
+  EXPECT_EQ(result.value, 0x77u);
+}
+
+TEST(Pbft, MessageCountBounded) {
+  Rng rng(5);
+  const auto result = RunPbft(MakeConfig(7), 0x1, 0, rng);
+  // One view, 3 phases, <= n messages per node per phase.
+  EXPECT_LE(result.messages, 3ull * 7 * 7);
+  EXPECT_GT(result.messages, 0u);
+}
+
+TEST(BftBound, SatisfiedIffNGreaterThan3F) {
+  EXPECT_TRUE(SatisfiesBftBound(4, 1));
+  EXPECT_FALSE(SatisfiesBftBound(3, 1));
+  EXPECT_TRUE(SatisfiesBftBound(7, 2));
+  EXPECT_FALSE(SatisfiesBftBound(6, 2));
+  EXPECT_TRUE(RoundAbstractionHolds(4, 1));
+  EXPECT_FALSE(RoundAbstractionHolds(3, 1));
+}
+
+class ClusterSendProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t,
+                                                 std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(ClusterSendProperty, AlwaysDeliversUnderBftBound) {
+  const auto [n1, f1, n2, f2] = GetParam();
+  ShardFaultProfile sender{n1, f1, {}};
+  ShardFaultProfile receiver{n2, f2, {}};
+  Rng rng(n1 * 100 + n2);
+  const auto result = SimulateClusterSend(sender, receiver, rng);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_TRUE(result.sender_confirmed);
+  EXPECT_EQ(result.node_messages, ClusterSendCost(f1, f2));
+  EXPECT_GE(result.honest_pairs, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultSweep, ClusterSendProperty,
+    ::testing::Values(std::tuple{4u, 0u, 4u, 0u}, std::tuple{4u, 1u, 4u, 1u},
+                      std::tuple{7u, 2u, 4u, 1u}, std::tuple{10u, 3u, 7u, 2u},
+                      std::tuple{13u, 4u, 13u, 4u}));
+
+TEST(ClusterSend, CostFormula) {
+  EXPECT_EQ(ClusterSendCost(0, 0), 1u);
+  EXPECT_EQ(ClusterSendCost(1, 1), 4u);
+  EXPECT_EQ(ClusterSendCost(2, 3), 12u);
+}
+
+TEST(ClusterSend, ExplicitFaultySets) {
+  ShardFaultProfile sender{4, 1, {2}};
+  ShardFaultProfile receiver{4, 1, {0}};
+  EXPECT_TRUE(sender.IsFaulty(2));
+  EXPECT_FALSE(sender.IsFaulty(0));
+  Rng rng(9);
+  const auto result = SimulateClusterSend(sender, receiver, rng);
+  EXPECT_TRUE(result.delivered);
+}
+
+TEST(ClusterSendDeath, RejectsBftViolation) {
+  ShardFaultProfile bad{3, 1, {}};
+  ShardFaultProfile ok{4, 1, {}};
+  Rng rng(1);
+  EXPECT_DEATH(SimulateClusterSend(bad, ok, rng), "SSHARD_CHECK");
+}
+
+TEST(RoundModel, BudgetIsFinite) {
+  EXPECT_GT(RoundMessageBudget(4, 1, 1), 0u);
+  EXPECT_EQ(RoundMessageBudget(4, 1, 1), 3ull * 16 + 4);
+}
+
+}  // namespace
+}  // namespace stableshard::consensus

@@ -1,0 +1,68 @@
+// Unit tests for the command-line flag parser used by simulate_cli.
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace stableshard {
+namespace {
+
+Flags ParseAll(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  Flags flags;
+  EXPECT_TRUE(flags.Parse(static_cast<int>(args.size()), args.data()));
+  return flags;
+}
+
+TEST(Flags, EqualsSyntax) {
+  const auto flags = ParseAll({"--rho=0.15", "--shards=64", "--name=x"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rho", 0), 0.15);
+  EXPECT_EQ(flags.GetInt("shards", 0), 64);
+  EXPECT_EQ(flags.GetString("name", ""), "x");
+}
+
+TEST(Flags, SpaceSyntax) {
+  const auto flags = ParseAll({"--rho", "0.2", "--scheduler", "fds"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rho", 0), 0.2);
+  EXPECT_EQ(flags.GetString("scheduler", ""), "fds");
+}
+
+TEST(Flags, BooleanFlags) {
+  const auto flags = ParseAll({"--pinned", "--verbose", "--opt=false"});
+  EXPECT_TRUE(flags.GetBool("pinned", false));
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("opt", true));
+  EXPECT_TRUE(flags.GetBool("absent", true));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+}
+
+TEST(Flags, Positional) {
+  const auto flags = ParseAll({"run", "--x=1", "file.csv"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"run", "file.csv"}));
+}
+
+TEST(Flags, Fallbacks) {
+  const auto flags = ParseAll({});
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(flags.GetString("missing", "d"), "d");
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(Flags, UnreadDetection) {
+  const auto flags = ParseAll({"--used=1", "--typo=2"});
+  EXPECT_EQ(flags.GetInt("used", 0), 1);
+  const auto unread = flags.UnreadFlags();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_EQ(unread[0], "typo");
+}
+
+TEST(Flags, BareDashesRejected) {
+  const char* args[] = {"prog", "--"};
+  Flags flags;
+  EXPECT_FALSE(flags.Parse(2, args));
+  EXPECT_FALSE(flags.error().empty());
+}
+
+}  // namespace
+}  // namespace stableshard

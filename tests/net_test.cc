@@ -1,0 +1,172 @@
+// Unit tests for src/net: metric axioms for every topology, neighborhoods,
+// diameters, the delayed message network, and the topology factory.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "net/metric.h"
+#include "net/network.h"
+#include "net/topology_factory.h"
+
+namespace stableshard::net {
+namespace {
+
+void ExpectMetricAxioms(const ShardMetric& metric) {
+  const ShardId s = metric.shard_count();
+  for (ShardId i = 0; i < s; ++i) {
+    EXPECT_EQ(metric.distance(i, i), 0u);
+    for (ShardId j = 0; j < s; ++j) {
+      if (i == j) continue;
+      EXPECT_GE(metric.distance(i, j), 1u);
+      EXPECT_EQ(metric.distance(i, j), metric.distance(j, i));
+      for (ShardId via = 0; via < s; ++via) {
+        EXPECT_LE(metric.distance(i, j),
+                  metric.distance(i, via) + metric.distance(via, j));
+      }
+    }
+  }
+}
+
+TEST(UniformMetric, AllPairsUnitDistance) {
+  UniformMetric metric(8);
+  ExpectMetricAxioms(metric);
+  EXPECT_EQ(metric.distance(0, 7), 1u);
+  EXPECT_EQ(metric.Diameter(), 1u);
+}
+
+TEST(LineMetric, AbsoluteDifference) {
+  LineMetric metric(64);
+  ExpectMetricAxioms(metric);
+  EXPECT_EQ(metric.distance(0, 1), 1u);
+  EXPECT_EQ(metric.distance(0, 2), 2u);
+  EXPECT_EQ(metric.distance(0, 63), 63u);
+  EXPECT_EQ(metric.Diameter(), 63u);
+}
+
+TEST(RingMetric, WrapsAround) {
+  RingMetric metric(10);
+  ExpectMetricAxioms(metric);
+  EXPECT_EQ(metric.distance(0, 9), 1u);
+  EXPECT_EQ(metric.distance(0, 5), 5u);
+  EXPECT_EQ(metric.Diameter(), 5u);
+}
+
+TEST(GridMetric, ManhattanDistance) {
+  GridMetric metric(4, 4);
+  ExpectMetricAxioms(metric);
+  EXPECT_EQ(metric.distance(0, 3), 3u);   // (0,0) -> (3,0)
+  EXPECT_EQ(metric.distance(0, 15), 6u);  // (0,0) -> (3,3)
+  EXPECT_EQ(metric.Diameter(), 6u);
+}
+
+TEST(MatrixMetric, AcceptsValidMetric) {
+  // A 3-point path metric 0 -1- 1 -2- 2.
+  std::vector<Distance> matrix{0, 1, 3, 1, 0, 2, 3, 2, 0};
+  MatrixMetric metric(3, matrix);
+  ExpectMetricAxioms(metric);
+  EXPECT_EQ(metric.distance(0, 2), 3u);
+}
+
+TEST(MatrixMetricDeath, RejectsAsymmetry) {
+  std::vector<Distance> matrix{0, 1, 2, 0};
+  EXPECT_DEATH(MatrixMetric(2, matrix), "SSHARD_CHECK");
+}
+
+TEST(MatrixMetricDeath, RejectsTriangleViolation) {
+  std::vector<Distance> matrix{0, 1, 5, 1, 0, 1, 5, 1, 0};
+  EXPECT_DEATH(MatrixMetric(3, matrix), "SSHARD_CHECK");
+}
+
+TEST(RandomGeometricMetric, SatisfiesAxioms) {
+  Rng rng(77);
+  const auto metric = MakeRandomGeometricMetric(16, 32, rng);
+  ExpectMetricAxioms(*metric);
+  EXPECT_GE(metric->Diameter(), 1u);
+}
+
+TEST(Neighborhood, LineRadii) {
+  LineMetric metric(10);
+  EXPECT_EQ(metric.Neighborhood(5, 0), std::vector<ShardId>{5});
+  const auto n2 = metric.Neighborhood(5, 2);
+  EXPECT_EQ(n2, (std::vector<ShardId>{3, 4, 5, 6, 7}));
+  const auto edge = metric.Neighborhood(0, 3);
+  EXPECT_EQ(edge, (std::vector<ShardId>{0, 1, 2, 3}));
+}
+
+TEST(SubsetDiameter, ComputedOnSubset) {
+  LineMetric metric(10);
+  EXPECT_EQ(metric.SubsetDiameter({2, 3, 4}), 2u);
+  EXPECT_EQ(metric.SubsetDiameter({0, 9}), 9u);
+  EXPECT_EQ(metric.SubsetDiameter({7}), 0u);
+}
+
+TEST(Network, DeliversAtDistance) {
+  LineMetric metric(8);
+  Network<int> network(metric);
+  network.Send(0, 3, /*now=*/10, 42);  // distance 3 -> deliver at 13
+  network.Send(1, 2, /*now=*/10, 7);   // distance 1 -> deliver at 11
+  EXPECT_TRUE(network.HasPending());
+
+  auto at11 = network.Deliver(11);
+  ASSERT_EQ(at11.size(), 1u);
+  EXPECT_EQ(at11[0].payload, 7);
+  EXPECT_EQ(at11[0].to, 2u);
+
+  EXPECT_TRUE(network.Deliver(12).empty());
+
+  auto at13 = network.Deliver(13);
+  ASSERT_EQ(at13.size(), 1u);
+  EXPECT_EQ(at13[0].payload, 42);
+  EXPECT_FALSE(network.HasPending());
+}
+
+TEST(Network, SelfSendTakesOneRound) {
+  UniformMetric metric(4);
+  Network<int> network(metric);
+  network.Send(2, 2, 5, 1);
+  EXPECT_TRUE(network.Deliver(5).empty());
+  EXPECT_EQ(network.Deliver(6).size(), 1u);
+}
+
+TEST(Network, TrafficAccounting) {
+  UniformMetric metric(4);
+  Network<int> network(metric);
+  network.Send(0, 1, 0, 10, /*payload_units=*/5);
+  network.Send(0, 2, 0, 11);
+  EXPECT_EQ(network.stats().messages_sent, 2u);
+  EXPECT_EQ(network.stats().payload_units, 6u);
+  EXPECT_EQ(network.stats().max_in_flight, 2u);
+  network.Deliver(1);
+  EXPECT_EQ(network.pending_count(), 0u);
+}
+
+TEST(Network, PreservesSendOrderWithinRound) {
+  UniformMetric metric(4);
+  Network<int> network(metric);
+  for (int i = 0; i < 10; ++i) network.Send(0, 1, 0, i);
+  const auto delivered = network.Deliver(1);
+  ASSERT_EQ(delivered.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(delivered[i].payload, i);
+}
+
+TEST(TopologyFactory, ParseRoundTrip) {
+  for (const auto kind :
+       {TopologyKind::kUniform, TopologyKind::kLine, TopologyKind::kRing,
+        TopologyKind::kGrid, TopologyKind::kRandomGeometric}) {
+    EXPECT_EQ(ParseTopology(TopologyName(kind)), kind);
+  }
+}
+
+TEST(TopologyFactory, BuildsEachKind) {
+  Rng rng(3);
+  EXPECT_EQ(MakeMetric(TopologyKind::kUniform, 8)->Diameter(), 1u);
+  EXPECT_EQ(MakeMetric(TopologyKind::kLine, 8)->Diameter(), 7u);
+  EXPECT_EQ(MakeMetric(TopologyKind::kRing, 8)->Diameter(), 4u);
+  EXPECT_EQ(MakeMetric(TopologyKind::kGrid, 16)->Diameter(), 6u);
+  EXPECT_GE(MakeMetric(TopologyKind::kRandomGeometric, 8, &rng)->Diameter(),
+            1u);
+}
+
+}  // namespace
+}  // namespace stableshard::net

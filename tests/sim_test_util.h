@@ -1,0 +1,56 @@
+// Shared helpers for the scheduler integration tests: canned configurations
+// and the common post-run invariant bundle (liveness, chain integrity,
+// serializability, accounting consistency).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "chain/global_chain.h"
+#include "core/config.h"
+#include "core/engine.h"
+
+namespace stableshard::test {
+
+inline core::SimConfig SmallConfig(core::SchedulerKind scheduler) {
+  core::SimConfig config;
+  config.scheduler = scheduler;
+  config.shards = 16;
+  config.accounts = 16;
+  config.k = 4;
+  config.rho = 0.05;
+  config.burstiness = 30;
+  config.rounds = 1500;
+  config.drain_cap = 60000;
+  config.seed = 7;
+  config.topology = scheduler == core::SchedulerKind::kBds
+                        ? net::TopologyKind::kUniform
+                        : net::TopologyKind::kLine;
+  return config;
+}
+
+/// Invariants every scheduler must satisfy after a drained run:
+///  - liveness: everything injected was resolved;
+///  - accounting: injected == committed + aborted;
+///  - every local chain verifies; reconstruction succeeds;
+///  - cross-shard serializability of the commit orders;
+///  - committed transactions appear on exactly their destination shards.
+inline void ExpectDrainedRunInvariants(const core::Simulation& sim,
+                                       const core::SimResult& result,
+                                       bool same_round_atomicity) {
+  EXPECT_TRUE(result.drained) << "scheduler failed to drain";
+  EXPECT_EQ(result.unresolved, 0u);
+  EXPECT_EQ(result.injected, result.committed + result.aborted);
+
+  const auto& chains = sim.ledger().chains();
+  for (const auto& chain : chains) {
+    EXPECT_TRUE(chain.Verify());
+  }
+  const auto mode = same_round_atomicity ? chain::AtomicityMode::kSameRound
+                                         : chain::AtomicityMode::kOrdered;
+  const auto reconstruction = chain::ReconstructGlobalChain(chains, mode);
+  EXPECT_TRUE(reconstruction.consistent) << reconstruction.error;
+  EXPECT_EQ(reconstruction.entries.size(), result.committed);
+  EXPECT_TRUE(chain::CheckSerializable(chains));
+}
+
+}  // namespace stableshard::test

@@ -1,0 +1,165 @@
+// Unit tests for src/stats: Welford accumulator (against naive formulas),
+// merge correctness, histogram quantiles, time-series windowing and the
+// latency recorder semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/histogram.h"
+#include "stats/latency_recorder.h"
+#include "stats/running_stats.h"
+#include "stats/time_series.h"
+
+namespace stableshard::stats {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  Rng rng(3);
+  std::vector<double> values;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble() * 100 - 50;
+    values.push_back(v);
+    s.Add(v);
+  }
+  double sum = 0;
+  for (const double v : values) sum += v;
+  const double mean = sum / values.size();
+  double sq = 0;
+  for (const double v : values) sq += (v - mean) * (v - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), sq / values.size(), 1e-7);
+  EXPECT_EQ(s.count(), values.size());
+}
+
+TEST(RunningStats, MinMaxTracked) {
+  RunningStats s;
+  for (const double v : {3.0, -1.0, 7.0, 2.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 11.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(5);
+  RunningStats all, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.NextDouble() * 10;
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);  // merge empty into non-empty
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);  // merge non-empty into empty
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(10.0, 5);  // buckets [0,10) .. [40,50), overflow beyond
+  h.Add(0);
+  h.Add(9.9);
+  h.Add(10);
+  h.Add(49.9);
+  h.Add(50);
+  h.Add(1000);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[4], 1u);
+}
+
+TEST(Histogram, QuantileInterpolation) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  // Uniform distribution on [0,100): median near 50, p99 near 99.
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, QuantileOnEmpty) {
+  Histogram h(1.0, 10);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(TimeSeries, WindowAveraging) {
+  TimeSeries series(10);
+  for (Round r = 0; r < 25; ++r) {
+    series.Record(r, static_cast<double>(r));
+  }
+  const auto points = series.Finish();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].round, 0u);
+  EXPECT_DOUBLE_EQ(points[0].value, 4.5);   // mean of 0..9
+  EXPECT_DOUBLE_EQ(points[1].value, 14.5);  // mean of 10..19
+  EXPECT_DOUBLE_EQ(points[2].value, 22.0);  // mean of 20..24
+}
+
+TEST(TimeSeries, SparseRecording) {
+  TimeSeries series(100);
+  series.Record(5, 1.0);
+  series.Record(250, 3.0);
+  series.Record(260, 5.0);
+  const auto points = series.Finish();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].round, 0u);
+  EXPECT_DOUBLE_EQ(points[0].value, 1.0);
+  EXPECT_EQ(points[1].round, 200u);
+  EXPECT_DOUBLE_EQ(points[1].value, 4.0);
+}
+
+TEST(LatencyRecorder, RecordsCommitAndAbort) {
+  LatencyRecorder recorder;
+  recorder.Record(10, 30, true);
+  recorder.Record(5, 10, false);
+  EXPECT_EQ(recorder.committed(), 1u);
+  EXPECT_EQ(recorder.aborted(), 1u);
+  EXPECT_EQ(recorder.resolved(), 2u);
+  EXPECT_DOUBLE_EQ(recorder.average_latency(), (20.0 + 5.0) / 2);
+  EXPECT_DOUBLE_EQ(recorder.max_latency(), 20.0);
+}
+
+TEST(LatencyRecorder, ZeroDelayAllowed) {
+  LatencyRecorder recorder;
+  recorder.Record(7, 7, true);
+  EXPECT_DOUBLE_EQ(recorder.average_latency(), 0.0);
+}
+
+TEST(LatencyRecorder, QuantilesOrdered) {
+  LatencyRecorder recorder;
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    const Round delay = rng.NextBounded(5000);
+    recorder.Record(0, delay, true);
+  }
+  EXPECT_LE(recorder.p50_latency(), recorder.p99_latency());
+  EXPECT_GT(recorder.p99_latency(), 0.0);
+}
+
+}  // namespace
+}  // namespace stableshard::stats

@@ -1,0 +1,95 @@
+// Theorem 1 (stability upper bound) demonstration tests: with the pairwise-
+// conflict adversary above the 2/(k+1) threshold, queues grow without bound
+// under *any* of our schedulers; below the BDS admissible rate, BDS stays
+// bounded on the same workload.
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "sim_test_util.h"
+
+namespace stableshard {
+namespace {
+
+using core::SchedulerKind;
+using core::SimConfig;
+using core::Simulation;
+using core::StrategyKind;
+
+SimConfig PairwiseConfig(double rho, SchedulerKind scheduler) {
+  SimConfig config;
+  config.scheduler = scheduler;
+  config.topology = net::TopologyKind::kUniform;
+  config.k = 4;
+  config.shards = 10;  // k(k+1)/2 = 10 shards used by the construction
+  config.accounts = 10;
+  config.account_assignment = core::AccountAssignment::kRoundRobin;
+  config.strategy = StrategyKind::kPairwiseConflict;
+  config.rho = rho;
+  config.burstiness = 4;
+  config.burst_round = kNoRound;
+  config.rounds = 6000;
+  config.drain_cap = 0;
+  return config;
+}
+
+TEST(Theorem1, AboveBoundQueuesGrowUnderBds) {
+  // Theorem 1 threshold for k = 4, s = 10: max{2/5, 2/4} = 0.5.
+  const double bound = AbsoluteStabilityUpperBound(4, 10);
+  EXPECT_DOUBLE_EQ(bound, 0.5);
+
+  SimConfig config = PairwiseConfig(/*rho=*/0.9, SchedulerKind::kBds);
+  Simulation sim(config);
+  sim.EnableSeries(/*window=*/1000);
+  const auto result = sim.Run();
+  // Unstable: a large backlog remains and keeps growing over time.
+  EXPECT_GT(result.unresolved, 500u);
+  const auto& points = sim.pending_series()->points();
+  ASSERT_GE(points.size(), 3u);
+  // Linear backlog growth: the last window is well above the middle one,
+  // which in turn is well above the first.
+  EXPECT_GT(points.back().value, 1.5 * points[points.size() / 2].value);
+  EXPECT_GT(points[points.size() / 2].value, 1.5 * points.front().value);
+}
+
+TEST(Theorem1, BelowSchedulerBoundBdsIsStable) {
+  // Below BDS's admissible rate the same workload drains.
+  const double admissible = BdsStableRateBound(4, 10);
+  SimConfig config = PairwiseConfig(admissible, SchedulerKind::kBds);
+  config.drain_cap = 50000;
+  Simulation sim(config);
+  const auto result = sim.Run();
+  EXPECT_TRUE(result.drained);
+  EXPECT_LE(result.max_pending,
+            4.0 * config.burstiness * config.shards);
+}
+
+TEST(Theorem1, AboveBoundUnstableForDirectToo) {
+  // The bound is scheduler-independent: the Direct baseline also diverges.
+  SimConfig config = PairwiseConfig(/*rho=*/0.9, SchedulerKind::kDirect);
+  Simulation sim(config);
+  sim.EnableSeries(1000);
+  const auto result = sim.Run();
+  EXPECT_GT(result.unresolved, 500u);
+  const auto& points = sim.pending_series()->points();
+  EXPECT_GT(points.back().value, points.front().value);
+}
+
+TEST(Theorem1, GroupContributesCongestionTwoPerShard) {
+  // Structural sanity: the k+1 group transactions add congestion exactly 2
+  // to each shard they use — this is what makes the 2/(k+1) bound tight.
+  const auto map = chain::AccountMap::RoundRobin(10, 10);
+  adversary::PairwiseConflictStrategy strategy(map, 4);
+  Rng rng(1);
+  std::vector<int> congestion(10, 0);
+  for (std::uint32_t i = 0; i < strategy.group_size(); ++i) {
+    adversary::Candidate candidate;
+    ASSERT_TRUE(strategy.Next(0, rng, &candidate));
+    for (const ShardId shard : candidate.TouchedShards(map)) {
+      ++congestion[shard];
+    }
+  }
+  for (const int c : congestion) EXPECT_EQ(c, 2);
+}
+
+}  // namespace
+}  // namespace stableshard
