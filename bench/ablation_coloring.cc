@@ -30,7 +30,7 @@ int main() {
                                txn::ColoringAlgorithm::kWelshPowell}) {
     for (const double rho : {0.06, 0.12, 0.18}) {
       core::SimConfig config;
-      config.scheduler = core::SchedulerKind::kBds;
+      config.scheduler = "bds";
       config.shards = 64;
       config.accounts = 64;
       config.account_assignment = core::AccountAssignment::kRoundRobin;

@@ -27,7 +27,7 @@ int main() {
   for (const auto& variant : variants) {
     for (const double rho : {0.06, 0.12, 0.18}) {
       core::SimConfig config;
-      config.scheduler = core::SchedulerKind::kFds;
+      config.scheduler = "fds";
       config.topology = net::TopologyKind::kLine;
       config.hierarchy = core::HierarchyKind::kLineShifted;
       config.shards = 64;

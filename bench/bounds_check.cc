@@ -34,7 +34,7 @@ int main() {
   bool all_ok = true;
   for (const Case& c : cases) {
     core::SimConfig config;
-    config.scheduler = core::SchedulerKind::kBds;
+    config.scheduler = "bds";
     config.topology = net::TopologyKind::kUniform;
     config.shards = c.s;
     config.accounts = c.s;

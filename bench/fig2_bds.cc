@@ -12,7 +12,7 @@ int main() {
   using namespace stableshard;
 
   core::SimConfig base;
-  base.scheduler = core::SchedulerKind::kBds;
+  base.scheduler = "bds";
   base.topology = net::TopologyKind::kUniform;
   base.shards = 64;
   base.accounts = 64;  // one account per shard

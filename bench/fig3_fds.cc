@@ -14,7 +14,7 @@ int main() {
   using namespace stableshard;
 
   core::SimConfig base;
-  base.scheduler = core::SchedulerKind::kFds;
+  base.scheduler = "fds";
   base.topology = net::TopologyKind::kLine;
   base.hierarchy = core::HierarchyKind::kLineShifted;
   base.shards = 64;

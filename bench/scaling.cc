@@ -22,7 +22,7 @@ int main() {
   for (const ShardId s : shard_grid) {
     for (const std::uint32_t k : k_grid) {
       core::SimConfig config;
-      config.scheduler = core::SchedulerKind::kBds;
+      config.scheduler = "bds";
       config.topology = net::TopologyKind::kUniform;
       config.shards = s;
       config.accounts = s;

@@ -6,6 +6,7 @@
 // above rho* the backlog grows linearly; below the scheduler-specific
 // admissible rate it drains.
 #include <cstdio>
+#include <string>
 
 #include "common/csv.h"
 #include "common/math_util.h"
@@ -25,8 +26,7 @@ int main() {
 
   const std::vector<double> rhos = {bds_bound, 0.30, 0.45, 0.55, 0.70, 0.90};
   std::vector<core::SimConfig> configs;
-  for (const auto scheduler :
-       {core::SchedulerKind::kBds, core::SchedulerKind::kDirect}) {
+  for (const char* scheduler : {"bds", "direct"}) {
     for (const double rho : rhos) {
       core::SimConfig config;
       config.scheduler = scheduler;
@@ -55,12 +55,12 @@ int main() {
                          static_cast<double>(run.config.rounds);
     const bool above = run.config.rho > theorem_bound;
     std::printf("%-8s %8.3f %10s %10llu %12llu %22.1f\n",
-                core::ToString(run.config.scheduler), run.config.rho,
+                run.config.scheduler.c_str(), run.config.rho,
                 above ? "above" : "below",
                 static_cast<unsigned long long>(run.result.injected),
                 static_cast<unsigned long long>(run.result.unresolved),
                 slope);
-    csv.Row(core::ToString(run.config.scheduler), run.config.rho,
+    csv.Row(run.config.scheduler, run.config.rho,
             above ? 1 : 0, run.result.injected, run.result.unresolved, slope);
   }
   std::printf(

@@ -17,7 +17,7 @@ stableshard::core::SimResult RunAttack(double rho, double burst,
                                        stableshard::core::Simulation** out) {
   using namespace stableshard;
   core::SimConfig config;
-  config.scheduler = core::SchedulerKind::kBds;
+  config.scheduler = "bds";
   config.shards = 32;
   config.accounts = 32;
   config.k = 4;

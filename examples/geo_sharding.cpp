@@ -12,11 +12,11 @@
 
 namespace {
 
-stableshard::core::SimResult RunCase(stableshard::core::SchedulerKind kind,
+stableshard::core::SimResult RunCase(const char* scheduler,
                                      bool local_workload) {
   using namespace stableshard;
   core::SimConfig config;
-  config.scheduler = kind;
+  config.scheduler = scheduler;
   config.topology = net::TopologyKind::kLine;
   config.hierarchy = core::HierarchyKind::kLineShifted;
   config.shards = 64;
@@ -46,21 +46,20 @@ int main() {
               "avg_latency", "p99_latency", "unresolved");
 
   struct Case {
-    core::SchedulerKind kind;
+    const char* scheduler;
     bool local;
     const char* name;
   };
   const Case cases[] = {
-      {core::SchedulerKind::kFds, true, "local (radius 3)"},
-      {core::SchedulerKind::kFds, false, "global (random shards)"},
-      {core::SchedulerKind::kDirect, true, "local (radius 3)"},
-      {core::SchedulerKind::kDirect, false, "global (random shards)"},
+      {"fds", true, "local (radius 3)"},
+      {"fds", false, "global (random shards)"},
+      {"direct", true, "local (radius 3)"},
+      {"direct", false, "global (random shards)"},
   };
   for (const Case& c : cases) {
-    const auto result = RunCase(c.kind, c.local);
-    std::printf("%-10s %-22s %12.0f %12.0f %12llu\n",
-                c.kind == core::SchedulerKind::kFds ? "fds" : "direct",
-                c.name, result.avg_latency, result.p99_latency,
+    const auto result = RunCase(c.scheduler, c.local);
+    std::printf("%-10s %-22s %12.0f %12.0f %12llu\n", c.scheduler, c.name,
+                result.avg_latency, result.p99_latency,
                 static_cast<unsigned long long>(result.unresolved));
   }
 

@@ -15,7 +15,7 @@ int main() {
   // touching up to 4 shards, driven by a (rho=0.05, b=100) adversary for
   // 5000 rounds (plus a drain phase so everything resolves).
   core::SimConfig config;
-  config.scheduler = core::SchedulerKind::kBds;
+  config.scheduler = "bds";
   config.topology = net::TopologyKind::kUniform;
   config.shards = 16;
   config.accounts = 16;

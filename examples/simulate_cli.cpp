@@ -6,12 +6,14 @@
 //       --strategy=uniform_random --seed=1 [--csv=out.csv] [--series=1000]
 //
 // Run with --help for all options.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "common/csv.h"
 #include "common/flags.h"
 #include "core/engine.h"
+#include "core/scheduler_registry.h"
 
 namespace {
 
@@ -19,7 +21,8 @@ using namespace stableshard;
 
 constexpr const char* kUsage = R"(simulate_cli — StableShard simulation runner
 
-  --scheduler  bds | fds | direct            (default bds)
+  --scheduler  any registered scheduler (bds | fds | direct in-tree;
+               default bds — unknown names print the registry)
   --topology   uniform | line | ring | grid | random_geo   (default: uniform
                for bds, line otherwise)
   --hierarchy  shifted | cover               (fds only; default shifted)
@@ -37,26 +40,27 @@ constexpr const char* kUsage = R"(simulate_cli — StableShard simulation runner
   --pinned     use the conservative pinned commit mode (fds)
   --no-reschedule  disable FDS rescheduling periods
   --drain      extra rounds to drain after injection stops (default 0)
+  --workers    threads driving the shard-parallel round loop (default 1;
+               any value gives bit-identical results)
   --seed       RNG seed                      (default 42)
   --series     record the pending series with this window (rounds)
   --csv        append one result row to this CSV file
 )";
 
 bool ParseConfig(const Flags& flags, core::SimConfig* config) {
-  const std::string scheduler = flags.GetString("scheduler", "bds");
-  if (scheduler == "bds") {
-    config->scheduler = core::SchedulerKind::kBds;
-  } else if (scheduler == "fds") {
-    config->scheduler = core::SchedulerKind::kFds;
-  } else if (scheduler == "direct") {
-    config->scheduler = core::SchedulerKind::kDirect;
-  } else {
-    std::fprintf(stderr, "unknown --scheduler=%s\n", scheduler.c_str());
+  config->scheduler = flags.GetString("scheduler", "bds");
+  if (!core::SchedulerRegistry::Global().Contains(config->scheduler)) {
+    std::fprintf(stderr, "unknown --scheduler=%s; registered:",
+                 config->scheduler.c_str());
+    for (const std::string& name : core::SchedulerRegistry::Global().Names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
     return false;
   }
 
   const std::string default_topology =
-      config->scheduler == core::SchedulerKind::kBds ? "uniform" : "line";
+      config->scheduler == "bds" ? "uniform" : "line";
   config->topology =
       net::ParseTopology(flags.GetString("topology", default_topology));
   config->hierarchy = flags.GetString("hierarchy", "shifted") == "cover"
@@ -71,6 +75,8 @@ bool ParseConfig(const Flags& flags, core::SimConfig* config) {
   if (flags.GetBool("no-burst", false)) config->burst_round = kNoRound;
   config->rounds = static_cast<Round>(flags.GetInt("rounds", 25000));
   config->drain_cap = static_cast<Round>(flags.GetInt("drain", 0));
+  config->worker_threads = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("workers", 1)));
   config->seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   config->abort_probability = flags.GetDouble("abort-prob", 0.0);
   config->fds_pipelined = !flags.GetBool("pinned", false);

@@ -1,18 +1,26 @@
-// Fixed-size thread pool for embarrassingly parallel experiment sweeps.
+// Fixed-size thread pool for the parallel round loop and experiment sweeps.
 //
-// The figure benches run dozens of independent (rho, b) simulations; each is
-// single-threaded and deterministic, so the pool only parallelizes across
-// configurations (no shared mutable state between tasks). This follows the
-// "explicit parallelism, explicit ownership" style of the HPC guides: tasks
-// capture their inputs by value and publish results through their own slot.
+// Two users: (1) the simulation engine fans Scheduler::StepShard out across
+// shards every round on a persistent pool (worker_threads > 1); (2) the
+// figure benches run dozens of independent (rho, b) simulations. Both
+// follow the "explicit parallelism, explicit ownership" style of the HPC
+// guides: tasks capture their inputs by value or index disjoint slots, so
+// no task shares mutable state with another.
+//
+// Use the instance ParallelFor for repeated fan-outs — it reuses the live
+// workers instead of paying thread creation/teardown per call (the static
+// overload exists for one-shot callers and spins up a throwaway pool).
+// Only one thread may drive a pool's Submit/Wait/ParallelFor at a time.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace stableshard {
@@ -35,15 +43,38 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Run `fn(i)` for i in [0, count) across the pool and wait.
+  /// Run `fn(i)` for i in [0, count) on this pool's live workers and wait.
+  /// Small iteration counts get one task per index (best balance for
+  /// coarse work like whole simulations); large counts are chunked into
+  /// contiguous ranges to amortize queue traffic (the per-round StepShard
+  /// fan-out). Chunking never affects results: iterations are independent
+  /// by contract.
   template <typename Fn>
-  static void ParallelFor(std::size_t count, Fn&& fn,
-                          std::size_t threads = 0) {
-    ThreadPool pool(threads);
-    for (std::size_t i = 0; i < count; ++i) {
-      pool.Submit([&fn, i] { fn(i); });
+  void ParallelFor(std::size_t count, Fn&& fn) {
+    if (count == 0) return;
+    const std::size_t fine_grain_limit = thread_count() * 8;
+    if (count <= fine_grain_limit) {
+      for (std::size_t i = 0; i < count; ++i) {
+        Submit([&fn, i] { fn(i); });
+      }
+    } else {
+      const std::size_t chunks = thread_count() * 4;
+      const std::size_t chunk = (count + chunks - 1) / chunks;
+      for (std::size_t begin = 0; begin < count; begin += chunk) {
+        const std::size_t end = std::min(begin + chunk, count);
+        Submit([&fn, begin, end] {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        });
+      }
     }
-    pool.Wait();
+    Wait();
+  }
+
+  /// One-shot convenience: run on a throwaway pool of `threads` workers.
+  template <typename Fn>
+  static void ParallelFor(std::size_t count, Fn&& fn, std::size_t threads) {
+    ThreadPool pool(threads);
+    pool.ParallelFor(count, std::forward<Fn>(fn));
   }
 
  private:

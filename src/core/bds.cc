@@ -1,8 +1,10 @@
 #include "core/bds.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/check.h"
+#include "core/scheduler_registry.h"
 
 namespace stableshard::core {
 
@@ -12,7 +14,9 @@ BdsScheduler::BdsScheduler(const net::ShardMetric& metric,
       ledger_(&ledger),
       config_(config),
       network_(metric),
+      outbox_(metric.shard_count()),
       pending_(metric.shard_count()),
+      home_(metric.shard_count()),
       dest_pending_(metric.shard_count()) {
   // BDS is specified for the uniform model: Phase offsets assume
   // unit-distance delivery everywhere.
@@ -36,41 +40,94 @@ std::uint64_t BdsScheduler::pending_in_queues() const {
 }
 
 bool BdsScheduler::Idle() const {
-  if (network_.HasPending() || !in_epoch_.empty() || !leader_inbox_.empty()) {
-    return false;
+  if (network_.HasPending() || !leader_inbox_.empty()) return false;
+  for (const HomeState& home : home_) {
+    if (!home.in_epoch.empty()) return false;
   }
   return pending_in_queues() == 0;
 }
 
-void BdsScheduler::StartEpoch(Round round) {
-  epoch_start_ = round;
-  epoch_end_ = kNoRound;
-  num_colors_ = 0;
-  leader_ = config_.rotate_leader
-                ? static_cast<ShardId>(epoch_index_ % metric_->shard_count())
-                : 0;
-  SSHARD_CHECK(in_epoch_.empty() && "previous epoch left unresolved txns");
-  by_color_.clear();
+void BdsScheduler::BeginRound(Round round) {
+  phase_ = Phase::kNone;
+  send_color_.reset();
 
-  // Phase 1: every home shard ships its whole pending queue to the leader.
-  for (ShardId home = 0; home < pending_.size(); ++home) {
-    auto& queue = pending_[home];
-    if (queue.empty()) continue;
-    TxnBatchMsg batch;
-    batch.epoch = epoch_index_;
-    batch.txns.reserve(queue.size());
-    while (!queue.empty()) {
-      txn::Transaction txn = std::move(queue.front());
-      queue.pop_front();
-      InFlightTxn in_flight;
-      in_flight.txn = txn;
-      in_epoch_.emplace(txn.id(), std::move(in_flight));
-      ++in_epoch_unresolved_;
-      batch.txns.push_back(std::move(txn));
+  // Epoch transition: the epoch ends exactly at epoch_start + 2 + 4*colors
+  // (all color-commit confirms arrived in the previous round).
+  if (round == 0 || (epoch_end_ != kNoRound && round == epoch_end_)) {
+    if (round != 0) {
+      for (const HomeState& home : home_) {
+        SSHARD_CHECK(home.in_epoch.empty() &&
+                     "epoch ended with unresolved transactions");
+      }
+      ++epoch_index_;
     }
-    const std::uint64_t units = batch.txns.size();
-    network_.Send(home, leader_, round, Message{std::move(batch)}, units);
+    epoch_start_ = round;
+    epoch_end_ = kNoRound;
+    num_colors_ = 0;
+    leader_ = config_.rotate_leader
+                  ? static_cast<ShardId>(epoch_index_ % metric_->shard_count())
+                  : 0;
+    phase_ = Phase::kShipPending;
+    return;
   }
+
+  if (round == epoch_start_ + 1) {
+    phase_ = Phase::kLeaderColor;
+    return;
+  }
+
+  if (epoch_end_ != kNoRound && round >= epoch_start_ + 2 &&
+      round < epoch_end_) {
+    const Round offset = round - epoch_start_ - 2;
+    if (offset % 4 == 0) {
+      const Color color = static_cast<Color>(offset / 4);
+      if (color < num_colors_) send_color_ = color;
+    }
+  }
+}
+
+void BdsScheduler::StepShard(ShardId shard, Round round) {
+  for (auto& envelope : network_.DeliverTo(shard, round)) {
+    HandleMessage(shard, envelope.from, envelope.payload, round);
+  }
+  switch (phase_) {
+    case Phase::kShipPending:
+      ShipPending(shard);
+      break;
+    case Phase::kLeaderColor:
+      if (shard == leader_) LeaderColorAndReply(round);
+      break;
+    case Phase::kNone:
+      break;
+  }
+  if (send_color_.has_value()) SendSubTxnsForColor(shard, *send_color_);
+}
+
+void BdsScheduler::EndRound(Round round) {
+  outbox_.Flush(network_, round);
+  ledger_->FlushRound(round);
+}
+
+void BdsScheduler::ShipPending(ShardId home) {
+  // Phase 1: the home shard ships its whole pending queue to the leader.
+  // Also resets the home's per-color schedule from the finished epoch.
+  HomeState& state = home_[home];
+  state.by_color.clear();
+  auto& queue = pending_[home];
+  if (queue.empty()) return;
+  TxnBatchMsg batch;
+  batch.epoch = epoch_index_;
+  batch.txns.reserve(queue.size());
+  while (!queue.empty()) {
+    txn::Transaction txn = std::move(queue.front());
+    queue.pop_front();
+    InFlightTxn in_flight;
+    in_flight.txn = txn;
+    state.in_epoch.emplace(txn.id(), std::move(in_flight));
+    batch.txns.push_back(std::move(txn));
+  }
+  const std::uint64_t units = batch.txns.size();
+  outbox_.Send(home, leader_, Message{std::move(batch)}, units);
 }
 
 void BdsScheduler::LeaderColorAndReply(Round round) {
@@ -86,38 +143,39 @@ void BdsScheduler::LeaderColorAndReply(Round round) {
   num_colors_ = coloring.num_colors;
   epoch_end_ = epoch_start_ + 2 + 4ull * num_colors_;
   max_epoch_length_ = std::max(max_epoch_length_, epoch_end_ - epoch_start_);
-  by_color_.assign(num_colors_, {});
+  (void)round;
 
   // Group assignments by home shard and reply; also broadcast the plan so
-  // every shard knows the epoch length.
+  // every shard knows the epoch length. Home shards rebuild their by_color
+  // schedule from the reply — the leader keeps nothing.
   std::vector<ColorAssignMsg> per_home(metric_->shard_count());
   for (std::size_t v = 0; v < view.size(); ++v) {
     per_home[view[v]->home()].colors.emplace_back(view[v]->id(),
                                                   coloring.color[v]);
-    by_color_[coloring.color[v]].push_back(view[v]->id());
   }
   for (ShardId home = 0; home < per_home.size(); ++home) {
     if (per_home[home].colors.empty()) continue;
     per_home[home].epoch = epoch_index_;
     const std::uint64_t units = per_home[home].colors.size();
-    network_.Send(leader_, home, round, Message{std::move(per_home[home])},
-                  units);
+    outbox_.Send(leader_, home, Message{std::move(per_home[home])}, units);
   }
   for (ShardId shard = 0; shard < metric_->shard_count(); ++shard) {
     EpochPlanMsg plan;
     plan.epoch = epoch_index_;
     plan.num_colors = num_colors_;
-    network_.Send(leader_, shard, round, Message{plan});
+    outbox_.Send(leader_, shard, Message{plan});
   }
   leader_inbox_.clear();
 }
 
-void BdsScheduler::SendSubTxnsForColor(Round round, Color color) {
-  // Phase 3, per-color round 1: home shards split color-`color` transactions
-  // into subtransactions and send them to the destination shards.
-  for (const TxnId id : by_color_[color]) {
-    const auto it = in_epoch_.find(id);
-    SSHARD_CHECK(it != in_epoch_.end());
+void BdsScheduler::SendSubTxnsForColor(ShardId home, Color color) {
+  // Phase 3, per-color round 1: the home shard splits its color-`color`
+  // transactions into subtransactions sent to the destination shards.
+  HomeState& state = home_[home];
+  if (color >= state.by_color.size()) return;
+  for (const TxnId id : state.by_color[color]) {
+    const auto it = state.in_epoch.find(id);
+    SSHARD_CHECK(it != state.in_epoch.end());
     const txn::Transaction& txn = it->second.txn;
     for (const txn::SubTransaction& sub : txn.subs()) {
       SubTxnMsg msg;
@@ -125,103 +183,87 @@ void BdsScheduler::SendSubTxnsForColor(Round round, Color color) {
       msg.coordinator = txn.home();
       msg.height = Height{0, 0, 0, color, id};
       msg.sub = sub;
-      network_.Send(txn.home(), sub.destination, round, Message{std::move(msg)});
+      outbox_.Send(home, sub.destination, Message{std::move(msg)});
     }
   }
 }
 
-void BdsScheduler::HandleDeliveries(Round round) {
-  for (auto& envelope : network_.Deliver(round)) {
-    Message& message = envelope.payload;
-    if (auto* batch = std::get_if<TxnBatchMsg>(&message)) {
-      // Phase 1 arrival at the leader.
-      SSHARD_CHECK(envelope.to == leader_);
-      for (auto& txn : batch->txns) leader_inbox_.push_back(std::move(txn));
-    } else if (std::get_if<ColorAssignMsg>(&message) != nullptr ||
-               std::get_if<EpochPlanMsg>(&message) != nullptr) {
-      // Color assignments / epoch plan: the grouping into by_color_ was
-      // already recorded when the leader computed it (the message models
-      // the communication; its content is identical).
-    } else if (auto* sub_msg = std::get_if<SubTxnMsg>(&message)) {
-      // Phase 3 round 2: destination evaluates and votes.
-      const ShardId dest = envelope.to;
-      const bool vote = ledger_->EvaluateSub(sub_msg->sub);
-      dest_pending_[dest].emplace(sub_msg->txn, sub_msg->sub);
-      VoteMsg vote_msg;
-      vote_msg.txn = sub_msg->txn;
-      vote_msg.dest = dest;
-      vote_msg.commit = vote;
-      network_.Send(dest, sub_msg->coordinator, round, Message{vote_msg});
-    } else if (auto* vote_msg = std::get_if<VoteMsg>(&message)) {
-      // Phase 3 round 3: home shard collects votes and confirms.
-      auto it = in_epoch_.find(vote_msg->txn);
-      SSHARD_CHECK(it != in_epoch_.end());
-      InFlightTxn& in_flight = it->second;
-      if (vote_msg->commit) {
-        ++in_flight.commit_votes;
-      } else {
-        ++in_flight.abort_votes;
-      }
-      const auto expected =
-          static_cast<std::uint32_t>(in_flight.txn.subs().size());
-      if (!in_flight.confirmed &&
-          in_flight.commit_votes + in_flight.abort_votes == expected) {
-        in_flight.confirmed = true;
-        const bool commit = in_flight.abort_votes == 0;
-        for (const txn::SubTransaction& sub : in_flight.txn.subs()) {
-          ConfirmMsg confirm;
-          confirm.txn = vote_msg->txn;
-          confirm.commit = commit;
-          network_.Send(in_flight.txn.home(), sub.destination, round,
-                        Message{confirm});
-        }
-      }
-    } else if (auto* confirm = std::get_if<ConfirmMsg>(&message)) {
-      // Phase 3 round 4: destination commits/aborts and clears state.
-      const ShardId dest = envelope.to;
-      auto it = dest_pending_[dest].find(confirm->txn);
-      SSHARD_CHECK(it != dest_pending_[dest].end());
-      const bool resolved =
-          ledger_->ApplyConfirm(confirm->txn, it->second, confirm->commit,
-                                round);
-      dest_pending_[dest].erase(it);
-      if (resolved) {
-        in_epoch_.erase(confirm->txn);
-        --in_epoch_unresolved_;
-      }
+void BdsScheduler::HandleMessage(ShardId shard, ShardId from,
+                                 Message& message, Round round) {
+  (void)from;
+  if (auto* batch = std::get_if<TxnBatchMsg>(&message)) {
+    // Phase 1 arrival at the leader.
+    SSHARD_CHECK(shard == leader_);
+    for (auto& txn : batch->txns) leader_inbox_.push_back(std::move(txn));
+  } else if (auto* assign = std::get_if<ColorAssignMsg>(&message)) {
+    // Phase 2 arrival at a home shard: record colors and rebuild the
+    // per-color send schedule for this epoch.
+    HomeState& state = home_[shard];
+    for (const auto& [id, color] : assign->colors) {
+      const auto it = state.in_epoch.find(id);
+      SSHARD_CHECK(it != state.in_epoch.end() &&
+                   "color assigned to unknown transaction");
+      it->second.color = color;
+      if (state.by_color.size() <= color) state.by_color.resize(color + 1);
+      state.by_color[color].push_back(id);
+    }
+  } else if (std::get_if<EpochPlanMsg>(&message) != nullptr) {
+    // Epoch plan broadcast: models the communication; the round plan is
+    // derived serially in BeginRound from the same data.
+  } else if (auto* sub_msg = std::get_if<SubTxnMsg>(&message)) {
+    // Phase 3 round 2: destination evaluates and votes.
+    const bool vote = ledger_->EvaluateSub(sub_msg->sub);
+    dest_pending_[shard].emplace(sub_msg->txn, sub_msg->sub);
+    VoteMsg vote_msg;
+    vote_msg.txn = sub_msg->txn;
+    vote_msg.dest = shard;
+    vote_msg.commit = vote;
+    outbox_.Send(shard, sub_msg->coordinator, Message{vote_msg});
+  } else if (auto* vote_msg = std::get_if<VoteMsg>(&message)) {
+    // Phase 3 round 3: the home shard collects votes; once complete it
+    // confirms and drops the 2PC record (the outcome is sealed here).
+    HomeState& state = home_[shard];
+    auto it = state.in_epoch.find(vote_msg->txn);
+    SSHARD_CHECK(it != state.in_epoch.end());
+    InFlightTxn& in_flight = it->second;
+    if (vote_msg->commit) {
+      ++in_flight.commit_votes;
     } else {
-      SSHARD_CHECK(false && "unexpected message type in BDS");
+      ++in_flight.abort_votes;
     }
+    const auto expected =
+        static_cast<std::uint32_t>(in_flight.txn.subs().size());
+    if (in_flight.commit_votes + in_flight.abort_votes == expected) {
+      const bool commit = in_flight.abort_votes == 0;
+      for (const txn::SubTransaction& sub : in_flight.txn.subs()) {
+        ConfirmMsg confirm;
+        confirm.txn = vote_msg->txn;
+        confirm.commit = commit;
+        outbox_.Send(shard, sub.destination, Message{confirm});
+      }
+      state.in_epoch.erase(it);
+    }
+  } else if (auto* confirm = std::get_if<ConfirmMsg>(&message)) {
+    // Phase 3 round 4: destination commits/aborts and clears state.
+    auto it = dest_pending_[shard].find(confirm->txn);
+    SSHARD_CHECK(it != dest_pending_[shard].end());
+    ledger_->ApplyConfirmDeferred(confirm->txn, it->second, confirm->commit,
+                                  round);
+    dest_pending_[shard].erase(it);
+  } else {
+    SSHARD_CHECK(false && "unexpected message type in BDS");
   }
 }
 
-void BdsScheduler::Step(Round round) {
-  HandleDeliveries(round);
-
-  // Epoch transition: the epoch ends exactly at epoch_start + 2 + 4*colors
-  // (all color-commit confirms arrived in the previous round).
-  if (round == 0) {
-    StartEpoch(round);
-  } else if (epoch_end_ != kNoRound && round == epoch_end_) {
-    SSHARD_CHECK(in_epoch_.empty() &&
-                 "epoch ended with unresolved transactions");
-    ++epoch_index_;
-    StartEpoch(round);
-  }
-
-  if (round == epoch_start_ + 1) {
-    LeaderColorAndReply(round);
-    return;
-  }
-
-  if (epoch_end_ != kNoRound && round >= epoch_start_ + 2 &&
-      round < epoch_end_) {
-    const Round offset = round - epoch_start_ - 2;
-    if (offset % 4 == 0) {
-      const Color color = static_cast<Color>(offset / 4);
-      if (color < num_colors_) SendSubTxnsForColor(round, color);
-    }
-  }
-}
+namespace {
+const SchedulerRegistrar kBdsRegistrar{
+    "bds", [](const SimConfig& config, SchedulerDeps& deps) {
+      BdsConfig bds;
+      bds.coloring = config.coloring;
+      bds.rotate_leader = config.bds_rotate_leader;
+      return std::unique_ptr<Scheduler>(
+          std::make_unique<BdsScheduler>(deps.metric, deps.ledger, bds));
+    }};
+}  // namespace
 
 }  // namespace stableshard::core

@@ -30,6 +30,16 @@
 // The implementation exchanges real messages through net::Network with the
 // uniform metric (all distances 1), so the phase offsets above are exactly
 // the delivery rounds; traffic is accounted per Section 3's O(bs) bound.
+//
+// Shard-parallel decomposition: every piece of epoch state is owned by one
+// shard — injection queues, in-epoch 2PC records and per-color send lists
+// by the *home* shard, the coloring inbox by the *leader*, schedule/commit
+// residue by the *destination*. BeginRound runs the (serial) epoch
+// transition and snapshots the round's phase action; StepShard drains the
+// shard's deliveries and executes its slice of the phase; EndRound flushes
+// the outbox lanes and the ledger journal. Home shards learn their colors
+// from the leader's ColorAssignMsg (round offset 2) rather than by peeking
+// at leader state, which is what makes Phase 3 shard-local.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +54,7 @@
 #include "core/scheduler.h"
 #include "net/metric.h"
 #include "net/network.h"
+#include "net/outbox.h"
 #include "txn/coloring.h"
 
 namespace stableshard::core {
@@ -61,7 +72,10 @@ class BdsScheduler final : public Scheduler {
                const BdsConfig& config = {});
 
   void Inject(const txn::Transaction& txn) override;
-  void Step(Round round) override;
+  void BeginRound(Round round) override;
+  void StepShard(ShardId shard, Round round) override;
+  void EndRound(Round round) override;
+  ShardId shard_count() const override { return metric_->shard_count(); }
   bool Idle() const override;
   std::uint64_t MessagesSent() const override {
     return network_.stats().messages_sent;
@@ -77,6 +91,7 @@ class BdsScheduler final : public Scheduler {
   std::uint32_t last_epoch_colors() const { return num_colors_; }
   std::uint64_t max_epoch_length() const { return max_epoch_length_; }
   std::uint64_t pending_in_queues() const;
+  const net::Network<Message>& network() const { return network_; }
 
  private:
   struct InFlightTxn {
@@ -84,23 +99,37 @@ class BdsScheduler final : public Scheduler {
     Color color = 0;
     std::uint32_t commit_votes = 0;
     std::uint32_t abort_votes = 0;
-    bool confirmed = false;
   };
 
-  void StartEpoch(Round round);
+  /// Per-home-shard epoch state: the 2PC records the home shard drives plus
+  /// its slice of the per-color send schedule (rebuilt each epoch from the
+  /// leader's ColorAssignMsg).
+  struct HomeState {
+    std::unordered_map<TxnId, InFlightTxn> in_epoch;
+    std::vector<std::vector<TxnId>> by_color;
+  };
+
+  /// What this round does, decided serially in BeginRound.
+  enum class Phase : std::uint8_t { kNone, kShipPending, kLeaderColor };
+
+  void ShipPending(ShardId home);
   void LeaderColorAndReply(Round round);
-  void SendSubTxnsForColor(Round round, Color color);
-  void HandleDeliveries(Round round);
+  void SendSubTxnsForColor(ShardId home, Color color);
+  void HandleMessage(ShardId shard, ShardId from, Message& message,
+                     Round round);
 
   const net::ShardMetric* metric_;
   CommitLedger* ledger_;
   BdsConfig config_;
   net::Network<Message> network_;
+  net::OutboxSet<Message> outbox_;
 
   // Home-shard injection queues (new transactions awaiting the next epoch).
   std::vector<std::deque<txn::Transaction>> pending_;
 
-  // Epoch state.
+  // Epoch state (written serially in BeginRound, except num_colors_ /
+  // epoch_end_ / max_epoch_length_, which only the leader's StepShard
+  // writes at offset 1 and only serial phases read afterwards).
   std::uint64_t epoch_index_ = 0;
   Round epoch_start_ = 0;
   Round epoch_end_ = kNoRound;  ///< known after Phase 2
@@ -108,14 +137,15 @@ class BdsScheduler final : public Scheduler {
   std::uint32_t num_colors_ = 0;
   std::uint64_t max_epoch_length_ = 0;
 
+  // Round plan snapshot (BeginRound output, read-only during StepShard).
+  Phase phase_ = Phase::kNone;
+  std::optional<Color> send_color_;
+
   // Leader-side: transactions received in Phase 1 of the current epoch.
   std::vector<txn::Transaction> leader_inbox_;
 
-  // Home-shard side: this epoch's transactions by id (after coloring, the
-  // home shard drives the per-color 2PC rounds).
-  std::unordered_map<TxnId, InFlightTxn> in_epoch_;
-  std::vector<std::vector<TxnId>> by_color_;
-  std::uint64_t in_epoch_unresolved_ = 0;
+  // Home-shard side, indexed by home shard.
+  std::vector<HomeState> home_;
 
   // Destination-shard side: subtransactions received and awaiting confirm.
   std::vector<std::unordered_map<TxnId, txn::SubTransaction>> dest_pending_;

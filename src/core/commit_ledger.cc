@@ -6,7 +6,9 @@ namespace stableshard::core {
 
 CommitLedger::CommitLedger(const chain::AccountMap& map,
                            chain::Balance initial_balance)
-    : map_(&map), last_commit_round_(map.shard_count(), kNoRound) {
+    : map_(&map),
+      last_commit_round_(map.shard_count(), kNoRound),
+      journal_(map.shard_count()) {
   stores_.reserve(map.shard_count());
   chains_.reserve(map.shard_count());
   for (ShardId shard = 0; shard < map.shard_count(); ++shard) {
@@ -41,11 +43,9 @@ bool CommitLedger::EvaluateSub(const txn::SubTransaction& sub) const {
 
 bool CommitLedger::ApplyConfirm(TxnId txn, const txn::SubTransaction& sub,
                                 bool commit, Round round) {
-  auto it = records_.find(txn);
+  const auto it = records_.find(txn);
   SSHARD_CHECK(it != records_.end() && "confirm for unregistered txn");
-  TxnRecord& record = it->second;
-  SSHARD_CHECK(record.remaining > 0 && "confirm after txn resolved");
-
+  SSHARD_CHECK(it->second.remaining > 0 && "confirm after txn resolved");
   if (commit) {
     // Unit shard capacity: one committed subtransaction per shard per round.
     SSHARD_CHECK(last_commit_round_[sub.destination] != round &&
@@ -58,11 +58,47 @@ bool CommitLedger::ApplyConfirm(TxnId txn, const txn::SubTransaction& sub,
       store.Apply(action);
     }
     chains_[sub.destination].Append(txn, round, sub.Digest());
-  } else {
-    record.any_abort = true;
   }
+  const std::uint64_t resolved_before = resolved_;
+  ResolveConfirm(txn, commit, round);
+  return resolved_ != resolved_before;
+}
 
-  if (--record.remaining > 0) return false;
+void CommitLedger::ApplyConfirmDeferred(TxnId txn,
+                                        const txn::SubTransaction& sub,
+                                        bool commit, Round round) {
+  // Shard-local half only: store/chain effects for the destination shard
+  // plus a journal entry. Runs inside StepShard(sub.destination, round).
+  if (commit) {
+    SSHARD_CHECK(last_commit_round_[sub.destination] != round &&
+                 "two commits on one shard in one round");
+    last_commit_round_[sub.destination] = round;
+    SSHARD_CHECK(EvaluateSub(sub) && "commit applied to stale state");
+    chain::AccountStore& store = stores_[sub.destination];
+    for (const chain::Action& action : sub.actions) {
+      store.Apply(action);
+    }
+    chains_[sub.destination].Append(txn, round, sub.Digest());
+  }
+  journal_[sub.destination].push_back(JournalEntry{txn, commit});
+}
+
+void CommitLedger::FlushRound(Round round) {
+  for (std::vector<JournalEntry>& shard_journal : journal_) {
+    for (const JournalEntry& entry : shard_journal) {
+      ResolveConfirm(entry.txn, entry.commit, round);
+    }
+    shard_journal.clear();
+  }
+}
+
+void CommitLedger::ResolveConfirm(TxnId txn, bool commit, Round round) {
+  auto it = records_.find(txn);
+  SSHARD_CHECK(it != records_.end() && "confirm for unregistered txn");
+  TxnRecord& record = it->second;
+  SSHARD_CHECK(record.remaining > 0 && "confirm after txn resolved");
+  if (!commit) record.any_abort = true;
+  if (--record.remaining > 0) return;
 
   // Whole transaction resolved.
   ++resolved_;
@@ -72,7 +108,6 @@ bool CommitLedger::ApplyConfirm(TxnId txn, const txn::SubTransaction& sub,
     ++committed_txns_;
   }
   latency_.Record(record.injected, round, !record.any_abort);
-  return true;
 }
 
 bool CommitLedger::IsResolved(TxnId txn) const {

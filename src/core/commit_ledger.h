@@ -11,6 +11,15 @@
 //   * vote consistency     — a commit is only applied if the condition and
 //     validity checks still hold (the schedulers' pin discipline guarantees
 //     they do; a violation aborts the simulation).
+//
+// Shard-parallel rounds: ApplyConfirm mixes shard-local effects (store
+// writes, chain append) with global bookkeeping (resolution records,
+// counters, latency). The decomposed schedulers instead call
+// ApplyConfirmDeferred from StepShard — it performs only the shard-local
+// half (safe for concurrent calls on distinct destinations) and journals
+// the resolution event — and FlushRound from EndRound, which drains the
+// per-shard journals in shard order so the global bookkeeping stays
+// deterministic regardless of thread scheduling.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +54,19 @@ class CommitLedger {
   bool ApplyConfirm(TxnId txn, const txn::SubTransaction& sub, bool commit,
                     Round round);
 
+  /// Shard-local half of ApplyConfirm for the parallel round loop: applies
+  /// the commit effects to `sub.destination`'s store/chain (with the same
+  /// capacity and stale-state checks) and journals the resolution event.
+  /// Safe to call concurrently for distinct destination shards; the global
+  /// bookkeeping happens in FlushRound.
+  void ApplyConfirmDeferred(TxnId txn, const txn::SubTransaction& sub,
+                            bool commit, Round round);
+
+  /// Serial: drain the per-shard journals (in shard order) filled by
+  /// ApplyConfirmDeferred during round `round`, updating resolution
+  /// records, counters and latency.
+  void FlushRound(Round round);
+
   bool IsResolved(TxnId txn) const;
 
   /// Transactions injected but not yet fully resolved.
@@ -69,10 +91,19 @@ class CommitLedger {
     bool any_abort = false;
   };
 
+  struct JournalEntry {
+    TxnId txn = kInvalidTxn;
+    bool commit = false;
+  };
+
+  /// Global (records/counters/latency) half of a confirm application.
+  void ResolveConfirm(TxnId txn, bool commit, Round round);
+
   const chain::AccountMap* map_;
   std::vector<chain::AccountStore> stores_;   // one per shard
   std::vector<chain::LocalChain> chains_;     // one per shard
   std::vector<Round> last_commit_round_;      // unit-capacity enforcement
+  std::vector<std::vector<JournalEntry>> journal_;  // per destination shard
   std::unordered_map<TxnId, TxnRecord> records_;
   stats::LatencyRecorder latency_;
   std::uint64_t registered_ = 0;

@@ -4,26 +4,31 @@
 
 namespace stableshard::core {
 
-CommitProtocol::CommitProtocol(net::Network<Message>& network,
+CommitProtocol::CommitProtocol(ShardId shards,
+                               net::OutboxSet<Message>& outbox,
                                CommitLedger& ledger,
                                DecidedCallback on_decided, CommitMode mode)
-    : network_(&network),
+    : outbox_(&outbox),
       ledger_(&ledger),
       on_decided_(std::move(on_decided)),
-      mode_(mode) {
-  set_shard_count(network.metric().shard_count());
-}
-
-void CommitProtocol::set_shard_count(ShardId shards) {
-  queues_.resize(shards);
-}
+      mode_(mode),
+      queues_(shards),
+      coordinating_(shards) {}
 
 bool CommitProtocol::Idle() const {
-  if (!coordinating_.empty()) return false;
+  for (const auto& slice : coordinating_) {
+    if (!slice.empty()) return false;
+  }
   for (const DestinationQueue& queue : queues_) {
     if (!queue.entries.empty()) return false;
   }
   return true;
+}
+
+std::uint64_t CommitProtocol::queued_subtxns() const {
+  std::uint64_t count = 0;
+  for (const DestinationQueue& queue : queues_) count += queue.queued;
+  return count;
 }
 
 std::uint64_t CommitProtocol::pinned_count() const {
@@ -34,21 +39,34 @@ std::uint64_t CommitProtocol::pinned_count() const {
   return count;
 }
 
-void CommitProtocol::Coordinate(const txn::Transaction& txn,
+std::uint64_t CommitProtocol::coordinated_unresolved() const {
+  std::uint64_t count = 0;
+  for (const auto& slice : coordinating_) count += slice.size();
+  return count;
+}
+
+std::uint64_t CommitProtocol::retracts_sent() const {
+  std::uint64_t count = 0;
+  for (const DestinationQueue& queue : queues_) count += queue.retracts;
+  return count;
+}
+
+void CommitProtocol::Coordinate(ShardId coordinator,
+                                const txn::Transaction& txn,
                                 std::uint32_t cluster) {
   PendingCommit pending;
   pending.txn = txn;
   pending.cluster = cluster;
-  coordinating_.emplace(txn.id(), std::move(pending));
+  coordinating_[coordinator].emplace(txn.id(), std::move(pending));
 }
 
 void CommitProtocol::SendSubTxn(ShardId coordinator,
                                 const txn::Transaction& txn,
                                 const txn::SubTransaction& sub, Height height,
-                                std::uint32_t cluster, Round round,
-                                bool update) {
-  const auto it = coordinating_.find(txn.id());
-  if (it != coordinating_.end()) it->second.current_height = height;
+                                std::uint32_t cluster, bool update) {
+  auto& slice = coordinating_[coordinator];
+  const auto it = slice.find(txn.id());
+  if (it != slice.end()) it->second.current_height = height;
   SubTxnMsg msg;
   msg.txn = txn.id();
   msg.cluster = cluster;
@@ -56,11 +74,11 @@ void CommitProtocol::SendSubTxn(ShardId coordinator,
   msg.height = height;
   msg.update = update;
   msg.sub = sub;
-  network_->Send(coordinator, sub.destination, round, Message{std::move(msg)});
+  outbox_->Send(coordinator, sub.destination, Message{std::move(msg)});
 }
 
 void CommitProtocol::Decide(ShardId coordinator, PendingCommit& pending,
-                            bool commit, Round round) {
+                            bool commit) {
   pending.decided = true;
   for (const txn::SubTransaction& sub : pending.txn.subs()) {
     ConfirmMsg confirm;
@@ -68,12 +86,12 @@ void CommitProtocol::Decide(ShardId coordinator, PendingCommit& pending,
     confirm.cluster = pending.cluster;
     confirm.commit = commit;
     confirm.height = pending.current_height;
-    network_->Send(coordinator, sub.destination, round, Message{confirm});
+    outbox_->Send(coordinator, sub.destination, Message{confirm});
   }
-  if (on_decided_) on_decided_(pending.txn.id(), commit);
+  if (on_decided_) on_decided_(pending.txn.id(), pending.cluster, commit);
 }
 
-void CommitProtocol::MaybeRequestRetract(ShardId dest, Round round) {
+void CommitProtocol::MaybeRequestRetract(ShardId dest) {
   DestinationQueue& queue = queues_[dest];
   if (!queue.pinned.has_value() || queue.retract_outstanding) return;
   const auto pinned_it = queue.index.find(*queue.pinned);
@@ -87,9 +105,9 @@ void CommitProtocol::MaybeRequestRetract(ShardId dest, Round round) {
     request.txn = *queue.pinned;
     request.cluster = pinned_entry.cluster;
     request.dest = dest;
-    network_->Send(dest, pinned_entry.coordinator, round, Message{request});
+    outbox_->Send(dest, pinned_entry.coordinator, Message{request});
     queue.retract_outstanding = true;
-    ++retracts_sent_;
+    ++queue.retracts;
   }
 }
 
@@ -123,26 +141,27 @@ bool CommitProtocol::HandleMessage(ShardId to, Message& message,
       if (mode_ == CommitMode::kPipelined) {
         queue.unvoted.insert(sub_msg->height);
       }
-      ++queued_subtxns_;
+      ++queue.queued;
     }
-    if (mode_ == CommitMode::kPinned) MaybeRequestRetract(to, round);
+    if (mode_ == CommitMode::kPinned) MaybeRequestRetract(to);
     return true;
   }
 
   if (auto* vote = std::get_if<VoteMsg>(&message)) {
-    auto it = coordinating_.find(vote->txn);
-    if (it == coordinating_.end() || it->second.decided) {
+    auto& slice = coordinating_[to];
+    auto it = slice.find(vote->txn);
+    if (it == slice.end() || it->second.decided) {
       return true;  // stale vote after decision — ignore
     }
     PendingCommit& pending = it->second;
     pending.votes[vote->dest] = vote->commit;
     if (!vote->commit) {
       // Early abort: one abort vote settles the outcome.
-      Decide(to, pending, /*commit=*/false, round);
-      coordinating_.erase(it);
+      Decide(to, pending, /*commit=*/false);
+      slice.erase(it);
     } else if (pending.votes.size() == pending.txn.destinations().size()) {
-      Decide(to, pending, /*commit=*/true, round);
-      coordinating_.erase(it);
+      Decide(to, pending, /*commit=*/true);
+      slice.erase(it);
     }
     return true;
   }
@@ -158,11 +177,11 @@ bool CommitProtocol::HandleMessage(ShardId to, Message& message,
       // Aborts write nothing: their position is irrelevant, pop at once.
       if (!confirm->commit) {
         queue.unvoted.erase(index_it->second);
-        ledger_->ApplyConfirm(confirm->txn, entry_it->second.sub,
-                              /*commit=*/false, round);
+        ledger_->ApplyConfirmDeferred(confirm->txn, entry_it->second.sub,
+                                      /*commit=*/false, round);
         queue.entries.erase(entry_it);
         queue.index.erase(index_it);
-        --queued_subtxns_;
+        --queue.queued;
         return true;
       }
       // Commits: re-key the entry to the coordinator's final height so all
@@ -185,11 +204,11 @@ bool CommitProtocol::HandleMessage(ShardId to, Message& message,
                    *queue.pinned == confirm->txn &&
                    "commit confirm for unpinned entry");
     }
-    ledger_->ApplyConfirm(confirm->txn, entry_it->second.sub, confirm->commit,
-                          round);
+    ledger_->ApplyConfirmDeferred(confirm->txn, entry_it->second.sub,
+                                  confirm->commit, round);
     queue.entries.erase(entry_it);
     queue.index.erase(index_it);
-    --queued_subtxns_;
+    --queue.queued;
     if (queue.pinned.has_value() && *queue.pinned == confirm->txn) {
       queue.pinned.reset();
       queue.retract_outstanding = false;
@@ -198,15 +217,16 @@ bool CommitProtocol::HandleMessage(ShardId to, Message& message,
   }
 
   if (auto* request = std::get_if<RetractRequestMsg>(&message)) {
-    auto it = coordinating_.find(request->txn);
-    if (it == coordinating_.end() || it->second.decided) {
+    auto& slice = coordinating_[to];
+    auto it = slice.find(request->txn);
+    if (it == slice.end() || it->second.decided) {
       return true;  // decision already in flight; the confirm wins
     }
     it->second.votes.erase(request->dest);
     RetractAckMsg ack;
     ack.txn = request->txn;
     ack.cluster = request->cluster;
-    network_->Send(to, request->dest, round, Message{ack});
+    outbox_->Send(to, request->dest, Message{ack});
     return true;
   }
 
@@ -237,49 +257,50 @@ void CommitProtocol::ApplyDecidedInOrder(ShardId dest, Round round) {
   // arrive. Applying only after the gate keeps the per-shard apply order
   // identical to the global height order (cross-shard serializability).
   if (round < head->first.t_end) return;
-  ledger_->ApplyConfirm(entry.txn, entry.sub, /*commit=*/true, round);
+  ledger_->ApplyConfirmDeferred(entry.txn, entry.sub, /*commit=*/true, round);
   queue.unvoted.erase(head->first);
   queue.index.erase(entry.txn);
   queue.entries.erase(head);
-  --queued_subtxns_;
+  --queue.queued;
 }
 
-void CommitProtocol::IssueVotes(Round round) {
+void CommitProtocol::IssueVotesForShard(ShardId dest, Round round) {
+  DestinationQueue& queue = queues_[dest];
   if (mode_ == CommitMode::kPipelined) {
-    for (ShardId dest = 0; dest < queues_.size(); ++dest) {
-      DestinationQueue& queue = queues_[dest];
-      // Algorithm 2b Step 1: pick one subtransaction per round and vote.
-      if (!queue.unvoted.empty()) {
-        const Height height = *queue.unvoted.begin();
-        queue.unvoted.erase(queue.unvoted.begin());
-        auto it = queue.entries.find(height);
-        SSHARD_CHECK(it != queue.entries.end());
-        Entry& entry = it->second;
-        entry.voted = true;
-        VoteMsg vote;
-        vote.txn = entry.txn;
-        vote.cluster = entry.cluster;
-        vote.dest = dest;
-        vote.commit = ledger_->EvaluateSub(entry.sub);
-        network_->Send(dest, entry.coordinator, round, Message{vote});
-      }
-      ApplyDecidedInOrder(dest, round);
+    // Algorithm 2b Step 1: pick one subtransaction per round and vote.
+    if (!queue.unvoted.empty()) {
+      const Height height = *queue.unvoted.begin();
+      queue.unvoted.erase(queue.unvoted.begin());
+      auto it = queue.entries.find(height);
+      SSHARD_CHECK(it != queue.entries.end());
+      Entry& entry = it->second;
+      entry.voted = true;
+      VoteMsg vote;
+      vote.txn = entry.txn;
+      vote.cluster = entry.cluster;
+      vote.dest = dest;
+      vote.commit = ledger_->EvaluateSub(entry.sub);
+      outbox_->Send(dest, entry.coordinator, Message{vote});
     }
+    ApplyDecidedInOrder(dest, round);
     return;
   }
 
+  if (queue.pinned.has_value() || queue.entries.empty()) return;
+  const auto head = queue.entries.begin();
+  const Entry& entry = head->second;
+  VoteMsg vote;
+  vote.txn = entry.txn;
+  vote.cluster = entry.cluster;
+  vote.dest = dest;
+  vote.commit = ledger_->EvaluateSub(entry.sub);
+  outbox_->Send(dest, entry.coordinator, Message{vote});
+  queue.pinned = entry.txn;
+}
+
+void CommitProtocol::IssueVotes(Round round) {
   for (ShardId dest = 0; dest < queues_.size(); ++dest) {
-    DestinationQueue& queue = queues_[dest];
-    if (queue.pinned.has_value() || queue.entries.empty()) continue;
-    const auto head = queue.entries.begin();
-    const Entry& entry = head->second;
-    VoteMsg vote;
-    vote.txn = entry.txn;
-    vote.cluster = entry.cluster;
-    vote.dest = dest;
-    vote.commit = ledger_->EvaluateSub(entry.sub);
-    network_->Send(dest, entry.coordinator, round, Message{vote});
-    queue.pinned = entry.txn;
+    IssueVotesForShard(dest, round);
   }
 }
 

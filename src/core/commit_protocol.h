@@ -31,6 +31,15 @@
 // destination keeps the pin, so vote-time validity still holds). Because
 // heights are a total order, the globally smallest pending transaction
 // always makes progress, so the protocol is live.
+//
+// Shard-parallel rounds: all protocol state is partitioned by shard —
+// destination queues by the destination shard, coordinator records
+// (sch_ldr) by the coordinating shard — and every send goes through the
+// acting shard's OutboxSet lane. HandleMessage(to, ...) and
+// IssueVotesForShard(shard, ...) therefore touch only shard `to`/`shard`
+// state (plus CommitLedger::ApplyConfirmDeferred, which is itself
+// shard-local), so the embedding scheduler may run them concurrently for
+// distinct shards inside StepShard.
 #pragma once
 
 #include <cstdint>
@@ -45,7 +54,7 @@
 #include "core/commit_ledger.h"
 #include "core/height.h"
 #include "core/messages.h"
-#include "net/network.h"
+#include "net/outbox.h"
 #include "txn/transaction.h"
 
 namespace stableshard::core {
@@ -72,52 +81,56 @@ enum class CommitMode : std::uint8_t { kPinned, kPipelined };
 
 class CommitProtocol {
  public:
-  /// `on_decided(txn_id, committed)` fires once per transaction when its
-  /// coordinator decides (confirm messages sent) — the paper's moment of
-  /// removal from sch_ldr; schedulers use it to drop the transaction from
-  /// their scheduled sets.
-  using DecidedCallback = std::function<void(TxnId, bool)>;
+  /// `on_decided(txn_id, cluster, committed)` fires once per transaction
+  /// when its coordinator decides (confirm messages sent) — the paper's
+  /// moment of removal from sch_ldr; schedulers use it to drop the
+  /// transaction from their scheduled sets. It runs in the coordinating
+  /// shard's StepShard context, so it may only touch that shard's state.
+  using DecidedCallback = std::function<void(TxnId, std::uint32_t, bool)>;
 
-  CommitProtocol(net::Network<Message>& network, CommitLedger& ledger,
-                 DecidedCallback on_decided,
+  CommitProtocol(ShardId shards, net::OutboxSet<Message>& outbox,
+                 CommitLedger& ledger, DecidedCallback on_decided,
                  CommitMode mode = CommitMode::kPinned);
 
-  /// Coordinator side: start coordinating `txn` (idempotent per txn).
-  /// `cluster` tags the coordinating context for introspection.
-  void Coordinate(const txn::Transaction& txn, std::uint32_t cluster);
+  /// Coordinator side: shard `coordinator` starts coordinating `txn`
+  /// (idempotent per txn). `cluster` tags the coordinating context.
+  void Coordinate(ShardId coordinator, const txn::Transaction& txn,
+                  std::uint32_t cluster);
 
-  /// Coordinator side: send one subtransaction to its destination at
-  /// `round` (or, with `update` = true, refresh its height after an FDS
-  /// reschedule). `coordinator` is the shard votes must return to.
+  /// Coordinator side: send one subtransaction to its destination (or, with
+  /// `update` = true, refresh its height after an FDS reschedule).
+  /// `coordinator` is the shard votes must return to.
   void SendSubTxn(ShardId coordinator, const txn::Transaction& txn,
                   const txn::SubTransaction& sub, Height height,
-                  std::uint32_t cluster, Round round, bool update);
+                  std::uint32_t cluster, bool update);
 
-  /// Route one delivered protocol message (SubTxn/Vote/Confirm/Retract*).
-  /// Returns true if the message type belonged to this protocol.
+  /// Route one delivered protocol message (SubTxn/Vote/Confirm/Retract*)
+  /// addressed to shard `to`. Returns true if the message type belonged to
+  /// this protocol. Parallel-safe across distinct `to`.
   bool HandleMessage(ShardId to, Message& message, Round round);
 
-  /// Per-round driver: kPinned — every unpinned destination votes for its
-  /// head; kPipelined — every destination votes for its first unvoted entry
-  /// and applies decided entries in queue order (<= 1 commit per shard).
-  /// Call after all deliveries of the round.
+  /// Per-round, per-destination driver: kPinned — vote for the head if
+  /// unpinned; kPipelined — vote for the first unvoted entry and apply
+  /// decided entries in queue order (<= 1 commit per shard). Call after all
+  /// of the shard's deliveries of the round. Parallel-safe across shards.
+  void IssueVotesForShard(ShardId dest, Round round);
+
+  /// Serial convenience: IssueVotesForShard for every shard in order.
   void IssueVotes(Round round);
 
   CommitMode mode() const { return mode_; }
 
-  /// Introspection.
-  std::uint64_t queued_subtxns() const { return queued_subtxns_; }
+  /// Introspection (serial phases only — these aggregate across shards).
+  std::uint64_t queued_subtxns() const;
   std::uint64_t pinned_count() const;
-  std::uint64_t coordinated_unresolved() const { return coordinating_.size(); }
-  std::uint64_t retracts_sent() const { return retracts_sent_; }
+  std::uint64_t coordinated_unresolved() const;
+  std::uint64_t retracts_sent() const;
   bool Idle() const;
 
   /// Queue length of one destination shard (tests).
   std::size_t queue_size(ShardId shard) const {
     return queues_[shard].entries.size();
   }
-
-  void set_shard_count(ShardId shards);
 
  private:
   struct Entry {
@@ -137,6 +150,9 @@ class CommitProtocol {
     bool retract_outstanding = false;  ///< waiting for ack/confirm
     // kPipelined state: heights not yet voted, served one per round.
     std::set<Height> unvoted;
+    // Shard-local counters, aggregated by the serial getters.
+    std::uint64_t queued = 0;
+    std::uint64_t retracts = 0;
   };
 
   struct PendingCommit {
@@ -147,19 +163,18 @@ class CommitProtocol {
     bool decided = false;
   };
 
-  void Decide(ShardId coordinator, PendingCommit& pending, bool commit,
-              Round round);
-  void MaybeRequestRetract(ShardId dest, Round round);
+  void Decide(ShardId coordinator, PendingCommit& pending, bool commit);
+  void MaybeRequestRetract(ShardId dest);
   void ApplyDecidedInOrder(ShardId dest, Round round);
 
-  net::Network<Message>* network_;
+  net::OutboxSet<Message>* outbox_;
   CommitLedger* ledger_;
   DecidedCallback on_decided_;
   CommitMode mode_;
-  std::vector<DestinationQueue> queues_;                 // per shard
-  std::unordered_map<TxnId, PendingCommit> coordinating_;
-  std::uint64_t queued_subtxns_ = 0;
-  std::uint64_t retracts_sent_ = 0;
+  std::vector<DestinationQueue> queues_;  // by destination shard
+  // sch_ldr, partitioned by coordinating shard so vote/retract handling in
+  // StepShard(coordinator) never races another shard's slice.
+  std::vector<std::unordered_map<TxnId, PendingCommit>> coordinating_;
 };
 
 }  // namespace stableshard::core

@@ -4,18 +4,6 @@
 
 namespace stableshard::core {
 
-const char* ToString(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kBds:
-      return "bds";
-    case SchedulerKind::kFds:
-      return "fds";
-    case SchedulerKind::kDirect:
-      return "direct";
-  }
-  return "?";
-}
-
 const char* ToString(StrategyKind kind) {
   switch (kind) {
     case StrategyKind::kUniformRandom:
@@ -34,10 +22,11 @@ const char* ToString(StrategyKind kind) {
 
 std::string SimConfig::Describe() const {
   std::ostringstream os;
-  os << ToString(scheduler) << " s=" << shards << " k=" << k
+  os << scheduler << " s=" << shards << " k=" << k
      << " topo=" << net::TopologyName(topology) << " rho=" << rho
      << " b=" << burstiness << " strat=" << ToString(strategy)
      << " rounds=" << rounds << " seed=" << seed;
+  if (worker_threads > 1) os << " wt=" << worker_threads;
   return os.str();
 }
 

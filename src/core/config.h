@@ -15,7 +15,6 @@
 
 namespace stableshard::core {
 
-enum class SchedulerKind : std::uint8_t { kBds, kFds, kDirect };
 enum class StrategyKind : std::uint8_t {
   kUniformRandom,
   kHotspot,
@@ -26,7 +25,6 @@ enum class StrategyKind : std::uint8_t {
 enum class HierarchyKind : std::uint8_t { kLineShifted, kSparseCover };
 enum class AccountAssignment : std::uint8_t { kRoundRobin, kRandom };
 
-const char* ToString(SchedulerKind kind);
 const char* ToString(StrategyKind kind);
 
 struct SimConfig {
@@ -46,8 +44,10 @@ struct SimConfig {
   double abort_probability = 0.0;
   Distance local_radius = 4;    ///< kLocal strategy only
 
-  // Scheduler.
-  SchedulerKind scheduler = SchedulerKind::kBds;
+  // Scheduler: a name registered in core::SchedulerRegistry ("bds", "fds",
+  // "direct" in-tree; embedders may register more — the engine never names
+  // schedulers itself).
+  std::string scheduler = "bds";
   txn::ColoringAlgorithm coloring = txn::ColoringAlgorithm::kGreedy;
   HierarchyKind hierarchy = HierarchyKind::kLineShifted;
   bool fds_reschedule = true;
@@ -60,6 +60,10 @@ struct SimConfig {
   // Run control.
   Round rounds = 25000;
   std::uint64_t seed = 42;
+  /// Threads driving Scheduler::StepShard inside one round (1 = fully
+  /// serial). Any value produces bit-identical results — the decomposition
+  /// is deterministic by construction (see core/scheduler.h).
+  std::uint32_t worker_threads = 1;
   /// After `rounds`, keep stepping (without injection) until the scheduler
   /// drains or `drain_cap` extra rounds elapse (0 = no drain phase).
   Round drain_cap = 0;

@@ -1,6 +1,9 @@
 #include "core/direct.h"
 
+#include <memory>
+
 #include "common/check.h"
+#include "core/scheduler_registry.h"
 
 namespace stableshard::core {
 
@@ -8,36 +11,58 @@ DirectScheduler::DirectScheduler(const net::ShardMetric& metric,
                                  CommitLedger& ledger)
     : ledger_(&ledger),
       network_(metric),
-      protocol_(network_, ledger, /*on_decided=*/nullptr) {}
+      outbox_(metric.shard_count()),
+      protocol_(metric.shard_count(), outbox_, ledger,
+                /*on_decided=*/nullptr),
+      inject_by_home_(metric.shard_count()) {}
 
 void DirectScheduler::Inject(const txn::Transaction& txn) {
-  inject_buffer_.push_back(txn);
+  SSHARD_CHECK(txn.home() < inject_by_home_.size());
+  inject_by_home_[txn.home()].push_back(txn);
+  ++injected_waiting_;
 }
 
-void DirectScheduler::Step(Round round) {
-  for (auto& envelope : network_.Deliver(round)) {
+void DirectScheduler::BeginRound(Round round) { (void)round; }
+
+void DirectScheduler::StepShard(ShardId shard, Round round) {
+  for (auto& envelope : network_.DeliverTo(shard, round)) {
     const bool handled =
-        protocol_.HandleMessage(envelope.to, envelope.payload, round);
+        protocol_.HandleMessage(shard, envelope.payload, round);
     SSHARD_CHECK(handled && "unexpected message type in Direct");
   }
 
   // Ship this round's injections straight to the destinations, ordered by
   // injection id (heights use only the txn id, a total order).
-  for (const txn::Transaction& txn : inject_buffer_) {
-    protocol_.Coordinate(txn, 0);
+  for (const txn::Transaction& txn : inject_by_home_[shard]) {
+    protocol_.Coordinate(shard, txn, 0);
     const Height height{0, 0, 0, 0, txn.id()};
     for (const txn::SubTransaction& sub : txn.subs()) {
-      protocol_.SendSubTxn(txn.home(), txn, sub, height, 0, round,
-                           /*update=*/false);
+      protocol_.SendSubTxn(shard, txn, sub, height, 0, /*update=*/false);
     }
   }
-  inject_buffer_.clear();
+  inject_by_home_[shard].clear();
 
-  protocol_.IssueVotes(round);
+  protocol_.IssueVotesForShard(shard, round);
+}
+
+void DirectScheduler::EndRound(Round round) {
+  injected_waiting_ = 0;
+  outbox_.Flush(network_, round);
+  ledger_->FlushRound(round);
 }
 
 bool DirectScheduler::Idle() const {
-  return inject_buffer_.empty() && !network_.HasPending() && protocol_.Idle();
+  return injected_waiting_ == 0 && !network_.HasPending() &&
+         protocol_.Idle();
 }
+
+namespace {
+const SchedulerRegistrar kDirectRegistrar{
+    "direct", [](const SimConfig& config, SchedulerDeps& deps) {
+      (void)config;
+      return std::unique_ptr<Scheduler>(
+          std::make_unique<DirectScheduler>(deps.metric, deps.ledger));
+    }};
+}  // namespace
 
 }  // namespace stableshard::core

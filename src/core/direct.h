@@ -11,6 +11,10 @@
 // transaction pays a full vote round-trip per queue position instead of
 // committing color-parallel batches, and under bursts the id-ordered queue
 // is oblivious to the conflict structure.
+//
+// Shard-parallel decomposition: injections are bucketed by home shard and
+// shipped from that shard's StepShard; all protocol state is already
+// partitioned per shard inside CommitProtocol.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +27,7 @@
 #include "core/scheduler.h"
 #include "net/metric.h"
 #include "net/network.h"
+#include "net/outbox.h"
 
 namespace stableshard::core {
 
@@ -31,7 +36,12 @@ class DirectScheduler final : public Scheduler {
   DirectScheduler(const net::ShardMetric& metric, CommitLedger& ledger);
 
   void Inject(const txn::Transaction& txn) override;
-  void Step(Round round) override;
+  void BeginRound(Round round) override;
+  void StepShard(ShardId shard, Round round) override;
+  void EndRound(Round round) override;
+  ShardId shard_count() const override {
+    return network_.metric().shard_count();
+  }
   bool Idle() const override;
   std::uint64_t MessagesSent() const override {
     return network_.stats().messages_sent;
@@ -44,8 +54,10 @@ class DirectScheduler final : public Scheduler {
  private:
   CommitLedger* ledger_;
   net::Network<Message> network_;
+  net::OutboxSet<Message> outbox_;
   CommitProtocol protocol_;
-  std::vector<txn::Transaction> inject_buffer_;
+  std::vector<std::vector<txn::Transaction>> inject_by_home_;
+  std::uint64_t injected_waiting_ = 0;
 };
 
 }  // namespace stableshard::core

@@ -4,9 +4,7 @@
 
 #include "adversary/strategy.h"
 #include "common/check.h"
-#include "core/bds.h"
-#include "core/direct.h"
-#include "core/fds.h"
+#include "core/scheduler_registry.h"
 
 namespace stableshard::core {
 
@@ -17,6 +15,7 @@ Simulation::Simulation(const SimConfig& config)
   SSHARD_CHECK(config.k >= 1);
   SSHARD_CHECK(config.rho > 0.0 && config.rho <= 1.0);
   SSHARD_CHECK(config.burstiness > 0.0);
+  SSHARD_CHECK(config.worker_threads >= 1);
 
   metric_ = net::MakeMetric(config.topology, config.shards, &rng_);
 
@@ -42,35 +41,29 @@ Simulation::Simulation(const SimConfig& config)
   adversary_ = std::make_unique<adversary::Adversary>(
       adversary_config, *accounts_, MakeStrategy());
 
-  switch (config.scheduler) {
-    case SchedulerKind::kBds: {
-      BdsConfig bds;
-      bds.coloring = config.coloring;
-      bds.rotate_leader = config.bds_rotate_leader;
-      scheduler_ = std::make_unique<BdsScheduler>(*metric_, *ledger_, bds);
-      break;
-    }
-    case SchedulerKind::kFds: {
-      hierarchy_ = std::make_unique<cluster::Hierarchy>(
-          config.hierarchy == HierarchyKind::kLineShifted
-              ? cluster::Hierarchy::BuildLineShifted(*metric_)
-              : cluster::Hierarchy::BuildSparseCover(*metric_));
-      FdsConfig fds;
-      fds.coloring = config.coloring;
-      fds.reschedule = config.fds_reschedule;
-      fds.commit_mode = config.fds_pipelined ? CommitMode::kPipelined
-                                             : CommitMode::kPinned;
-      scheduler_ = std::make_unique<FdsScheduler>(*metric_, *hierarchy_,
-                                                  *ledger_, fds);
-      break;
-    }
-    case SchedulerKind::kDirect:
-      scheduler_ = std::make_unique<DirectScheduler>(*metric_, *ledger_);
-      break;
+  SchedulerDeps deps{*metric_, *ledger_,
+                     [this]() -> const cluster::Hierarchy& {
+                       return EnsureHierarchy();
+                     }};
+  scheduler_ =
+      SchedulerRegistry::Global().Build(config.scheduler, config_, deps);
+
+  if (config.worker_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config.worker_threads);
   }
 }
 
 Simulation::~Simulation() = default;
+
+const cluster::Hierarchy& Simulation::EnsureHierarchy() {
+  if (!hierarchy_) {
+    hierarchy_ = std::make_unique<cluster::Hierarchy>(
+        config_.hierarchy == HierarchyKind::kLineShifted
+            ? cluster::Hierarchy::BuildLineShifted(*metric_)
+            : cluster::Hierarchy::BuildSparseCover(*metric_));
+  }
+  return *hierarchy_;
+}
 
 std::unique_ptr<adversary::Strategy> Simulation::MakeStrategy() {
   adversary::RandomStrategyOptions options;
@@ -97,6 +90,22 @@ std::unique_ptr<adversary::Strategy> Simulation::MakeStrategy() {
   return nullptr;
 }
 
+void Simulation::StepRound(Round round) {
+  scheduler_->BeginRound(round);
+  const ShardId shards = scheduler_->shard_count();
+  if (pool_) {
+    Scheduler* scheduler = scheduler_.get();
+    pool_->ParallelFor(shards, [scheduler, round](std::size_t shard) {
+      scheduler->StepShard(static_cast<ShardId>(shard), round);
+    });
+  } else {
+    for (ShardId shard = 0; shard < shards; ++shard) {
+      scheduler_->StepShard(shard, round);
+    }
+  }
+  scheduler_->EndRound(round);
+}
+
 SimResult Simulation::Run() {
   SSHARD_CHECK(!ran_ && "Simulation::Run may be called once");
   ran_ = true;
@@ -113,7 +122,7 @@ SimResult Simulation::Run() {
       ledger_->RegisterInjection(txn);
       scheduler_->Inject(txn);
     }
-    scheduler_->Step(round);
+    StepRound(round);
 
     const std::uint64_t pending = ledger_->pending();
     max_pending = std::max(max_pending, pending);
@@ -136,7 +145,7 @@ SimResult Simulation::Run() {
         drained = true;
         break;
       }
-      scheduler_->Step(round);
+      StepRound(round);
       ++round;
     }
     if (!drained) drained = scheduler_->Idle();

@@ -5,9 +5,16 @@
 //   1. the adversary generates this round's transactions (subject to the
 //      (rho, b) token buckets);
 //   2. each is registered with the ledger and injected at its home shard;
-//   3. the scheduler executes one round (deliver messages, phase logic,
-//      sends);
+//   3. the scheduler executes one round: BeginRound (serial), StepShard for
+//      every shard — fanned out across the persistent worker pool when
+//      SimConfig::worker_threads > 1, serial otherwise, with bit-identical
+//      results either way — then EndRound (serial);
 //   4. metrics are sampled (pending transactions, leader queues).
+//
+// The engine knows no concrete scheduler: SimConfig::scheduler names an
+// entry in core::SchedulerRegistry and construction goes through the
+// registered builder (see core/scheduler_registry.h). The cluster
+// hierarchy is built lazily, only when a scheduler's builder asks for it.
 #pragma once
 
 #include <memory>
@@ -16,6 +23,7 @@
 #include "chain/account_map.h"
 #include "cluster/hierarchy.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/commit_ledger.h"
 #include "core/config.h"
 #include "core/scheduler.h"
@@ -55,6 +63,8 @@ class Simulation {
 
  private:
   std::unique_ptr<adversary::Strategy> MakeStrategy();
+  const cluster::Hierarchy& EnsureHierarchy();
+  void StepRound(Round round);
 
   SimConfig config_;
   Rng rng_;
@@ -64,6 +74,7 @@ class Simulation {
   std::unique_ptr<cluster::Hierarchy> hierarchy_;
   std::unique_ptr<adversary::Adversary> adversary_;
   std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<ThreadPool> pool_;  ///< persistent; worker_threads > 1
   Round series_window_ = 0;
   std::unique_ptr<stats::TimeSeries> pending_series_;
   bool ran_ = false;

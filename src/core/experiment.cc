@@ -7,14 +7,15 @@ namespace stableshard::core {
 std::vector<ExperimentRun> RunSweep(const std::vector<SimConfig>& configs,
                                     std::size_t threads) {
   std::vector<ExperimentRun> runs(configs.size());
-  ThreadPool::ParallelFor(
-      configs.size(),
-      [&](std::size_t i) {
-        runs[i].config = configs[i];
-        Simulation simulation(configs[i]);
-        runs[i].result = simulation.Run();
-      },
-      threads);
+  // One live pool for the whole sweep: simulations are coarse tasks, so the
+  // instance ParallelFor hands each config its own task (no chunking) while
+  // reusing the same workers across the batch.
+  ThreadPool pool(threads);
+  pool.ParallelFor(configs.size(), [&](std::size_t i) {
+    runs[i].config = configs[i];
+    Simulation simulation(configs[i]);
+    runs[i].result = simulation.Run();
+  });
   return runs;
 }
 

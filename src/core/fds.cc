@@ -1,9 +1,11 @@
 #include "core/fds.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "core/scheduler_registry.h"
 
 namespace stableshard::core {
 
@@ -15,10 +17,17 @@ FdsScheduler::FdsScheduler(const net::ShardMetric& metric,
       ledger_(&ledger),
       config_(config),
       network_(metric),
-      protocol_(network_, ledger,
-                [this](TxnId txn, bool committed) { OnDecided(txn, committed); },
+      outbox_(metric.shard_count()),
+      protocol_(metric.shard_count(), outbox_, ledger,
+                [this](TxnId txn, std::uint32_t cluster, bool committed) {
+                  OnDecided(txn, cluster, committed);
+                },
                 config.commit_mode),
-      cluster_state_(hierarchy.clusters().size()) {
+      cluster_state_(hierarchy.clusters().size()),
+      home_outgoing_(metric.shard_count()),
+      buffered_by_home_(metric.shard_count(), 0),
+      coloring_work_(metric.shard_count()),
+      reschedules_by_shard_(metric.shard_count(), 0) {
   // Derive the aligned base epoch length E_0 (see header).
   Round e0 = 4;
   for (std::uint32_t layer = 0; layer < hierarchy.layer_count(); ++layer) {
@@ -36,6 +45,12 @@ Round FdsScheduler::epoch_length(std::uint32_t layer) const {
   return e0_ << layer;
 }
 
+std::uint64_t FdsScheduler::reschedules() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : reschedules_by_shard_) total += count;
+  return total;
+}
+
 void FdsScheduler::Inject(const txn::Transaction& txn) {
   // Home cluster: lowest-level cluster covering the x-neighborhood of the
   // home shard, x = distance to the farthest destination (Section 6.1).
@@ -50,40 +65,86 @@ void FdsScheduler::Inject(const txn::Transaction& txn) {
     state.ever_used = true;
     ++used_cluster_count_;
   }
-  state.home_buffer[txn.home()].push_back(txn);
-  txn_cluster_.emplace(txn.id(), home_cluster.id);
-  ++buffered_;
+  home_outgoing_[txn.home()][home_cluster.id].push_back(txn);
+  ++buffered_by_home_[txn.home()];
 }
 
-void FdsScheduler::OnDecided(TxnId txn, bool committed) {
+void FdsScheduler::OnDecided(TxnId txn, std::uint32_t cluster,
+                             bool committed) {
+  // Runs in the coordinating (leader) shard's StepShard: the cluster's
+  // sch_ldr is that shard's state.
   (void)committed;
-  const auto it = txn_cluster_.find(txn);
-  SSHARD_CHECK(it != txn_cluster_.end());
-  ClusterState& state = cluster_state_[it->second];
+  ClusterState& state = cluster_state_[cluster];
   const auto erased = state.active.erase(txn);
   SSHARD_CHECK(erased == 1 && "decided txn missing from sch_ldr");
-  txn_cluster_.erase(it);
 }
 
-void FdsScheduler::RunEpochStart(const cluster::Cluster& cluster,
-                                 Round round) {
-  // Phase 1: home shards ship their buffered transactions to the leader.
-  ClusterState& state = cluster_state_[cluster.id];
-  if (state.home_buffer.empty()) return;
-  for (auto& [home, txns] : state.home_buffer) {
+void FdsScheduler::BeginRound(Round round) {
+  // Plan this round's colorings, grouped by leader shard, in the same
+  // deterministic leadered_clusters_ order the monolithic loop used.
+  for (std::vector<std::uint32_t>& lane : coloring_work_) lane.clear();
+  for (const std::uint32_t id : leadered_clusters_) {
+    const cluster::Cluster& cluster = hierarchy_->clusters()[id];
+    const Round e_i = epoch_length(cluster.layer);
+    const Round offset = round % e_i;
+    const Round coloring_offset =
+        std::max<Round>(1, std::min<Round>(e_i - 1, cluster.diameter));
+    if (offset == coloring_offset) {
+      coloring_work_[cluster.leader].push_back(id);
+    }
+  }
+}
+
+void FdsScheduler::StepShard(ShardId shard, Round round) {
+  // Deliver: protocol messages are handled inline; Phase-1 batches land in
+  // the leader's incoming set.
+  for (auto& envelope : network_.DeliverTo(shard, round)) {
+    if (protocol_.HandleMessage(shard, envelope.payload, round)) {
+      continue;
+    }
+    auto* batch = std::get_if<TxnBatchMsg>(&envelope.payload);
+    SSHARD_CHECK(batch != nullptr && "unexpected message type in FDS");
+    SSHARD_CHECK(shard == hierarchy_->clusters()[batch->cluster].leader);
+    ClusterState& state = cluster_state_[batch->cluster];
+    for (auto& txn : batch->txns) state.incoming.push_back(std::move(txn));
+  }
+
+  // Phase 1, home side: ship buffered transactions for every cluster whose
+  // epoch starts this round.
+  auto& outgoing = home_outgoing_[shard];
+  for (auto it = outgoing.begin(); it != outgoing.end();) {
+    const cluster::Cluster& cluster = hierarchy_->clusters()[it->first];
+    const Round e_i = epoch_length(cluster.layer);
+    if (round % e_i != 0 || it->second.empty()) {
+      ++it;
+      continue;
+    }
     TxnBatchMsg batch;
     batch.cluster = cluster.id;
-    batch.epoch = round / epoch_length(cluster.layer);
-    buffered_ -= txns.size();
-    const std::uint64_t units = txns.size();
-    batch.txns = std::move(txns);
-    network_.Send(home, cluster.leader, round, Message{std::move(batch)},
-                  units);
+    batch.epoch = round / e_i;
+    buffered_by_home_[shard] -= it->second.size();
+    const std::uint64_t units = it->second.size();
+    batch.txns = std::move(it->second);
+    outbox_.Send(shard, cluster.leader, Message{std::move(batch)}, units);
+    it = outgoing.erase(it);
   }
-  state.home_buffer.clear();
+
+  // Phase 2, leader side: colorings planned for this shard this round.
+  for (const std::uint32_t id : coloring_work_[shard]) {
+    RunColoring(hierarchy_->clusters()[id], shard, round);
+  }
+
+  // Algorithm 2b: this destination votes for its queue head.
+  protocol_.IssueVotesForShard(shard, round);
 }
 
-void FdsScheduler::RunColoring(const cluster::Cluster& cluster, Round round) {
+void FdsScheduler::EndRound(Round round) {
+  outbox_.Flush(network_, round);
+  ledger_->FlushRound(round);
+}
+
+void FdsScheduler::RunColoring(const cluster::Cluster& cluster,
+                               ShardId leader, Round round) {
   ClusterState& state = cluster_state_[cluster.id];
   const Round e_i = epoch_length(cluster.layer);
   const Round epoch_start = (round / e_i) * e_i;
@@ -103,7 +164,7 @@ void FdsScheduler::RunColoring(const cluster::Cluster& cluster, Round round) {
   const std::size_t new_count = state.incoming.size();
   for (const auto& txn : state.incoming) view.push_back(&txn);
   if (reschedule) {
-    ++reschedules_;
+    ++reschedules_by_shard_[leader];
     for (const auto& [id, txn] : state.active) {
       (void)id;
       view.push_back(&txn);
@@ -120,11 +181,11 @@ void FdsScheduler::RunColoring(const cluster::Cluster& cluster, Round round) {
                         coloring.color[v], txn.id()};
     const bool is_new = v < new_count;
     if (is_new) {
-      protocol_.Coordinate(txn, cluster.id);
+      protocol_.Coordinate(leader, txn, cluster.id);
     }
     for (const txn::SubTransaction& sub : txn.subs()) {
-      protocol_.SendSubTxn(cluster.leader, txn, sub, height, cluster.id,
-                           round, /*update=*/!is_new);
+      protocol_.SendSubTxn(leader, txn, sub, height, cluster.id,
+                           /*update=*/!is_new);
     }
   }
   for (auto& txn : state.incoming) {
@@ -134,44 +195,11 @@ void FdsScheduler::RunColoring(const cluster::Cluster& cluster, Round round) {
   state.incoming.clear();
 }
 
-void FdsScheduler::Step(Round round) {
-  // Deliver: protocol messages are handled inline; Phase-1 batches land in
-  // the leader's incoming set.
-  for (auto& envelope : network_.Deliver(round)) {
-    if (protocol_.HandleMessage(envelope.to, envelope.payload, round)) {
-      continue;
-    }
-    auto* batch = std::get_if<TxnBatchMsg>(&envelope.payload);
-    SSHARD_CHECK(batch != nullptr && "unexpected message type in FDS");
-    ClusterState& state = cluster_state_[batch->cluster];
-    SSHARD_CHECK(envelope.to ==
-                 hierarchy_->clusters()[batch->cluster].leader);
-    for (auto& txn : batch->txns) state.incoming.push_back(std::move(txn));
-  }
-
-  // Per-cluster epoch machinery.
-  for (const std::uint32_t id : leadered_clusters_) {
-    const cluster::Cluster& cluster = hierarchy_->clusters()[id];
-    const Round e_i = epoch_length(cluster.layer);
-    const Round offset = round % e_i;
-    if (offset == 0) {
-      RunEpochStart(cluster, round);
-    }
-    const Round coloring_offset =
-        std::max<Round>(1, std::min<Round>(e_i - 1, cluster.diameter));
-    if (offset == coloring_offset) {
-      RunColoring(cluster, round);
-    }
-  }
-
-  // Algorithm 2b: destinations vote for their queue heads.
-  protocol_.IssueVotes(round);
-}
-
 bool FdsScheduler::Idle() const {
-  if (buffered_ != 0 || network_.HasPending() || !protocol_.Idle()) {
-    return false;
+  for (const std::uint64_t buffered : buffered_by_home_) {
+    if (buffered != 0) return false;
   }
+  if (network_.HasPending() || !protocol_.Idle()) return false;
   for (const std::uint32_t id : leadered_clusters_) {
     const ClusterState& state = cluster_state_[id];
     if (!state.incoming.empty() || !state.active.empty()) return false;
@@ -188,5 +216,18 @@ double FdsScheduler::LeaderQueueMean() const {
   return static_cast<double>(total) /
          static_cast<double>(used_cluster_count_);
 }
+
+namespace {
+const SchedulerRegistrar kFdsRegistrar{
+    "fds", [](const SimConfig& config, SchedulerDeps& deps) {
+      FdsConfig fds;
+      fds.coloring = config.coloring;
+      fds.reschedule = config.fds_reschedule;
+      fds.commit_mode = config.fds_pipelined ? CommitMode::kPipelined
+                                             : CommitMode::kPinned;
+      return std::unique_ptr<Scheduler>(std::make_unique<FdsScheduler>(
+          deps.metric, deps.hierarchy(), deps.ledger, fds));
+    }};
+}  // namespace
 
 }  // namespace stableshard::core

@@ -34,11 +34,22 @@
 //
 // Stability (Theorem 3): rho <= (1 / (c1 d log^2 s)) * max{1/k, 1/sqrt(s)}
 // gives pending <= 4bs and latency <= 2 c1 b d log^2 s * min{k, sqrt(s)}.
+//
+// Shard-parallel decomposition: a cluster's scheduling state (incoming
+// batches, sch_ldr) is owned by its *leader shard*; home-side buffers are
+// bucketed by *home shard*; the commit protocol is per-shard by
+// construction. BeginRound computes, serially and in deterministic order,
+// which clusters color this round (grouped by leader); StepShard drains
+// the shard's deliveries, ships epoch-start batches for the clusters the
+// shard home-buffers, runs colorings for the clusters it leads, and issues
+// the shard's votes. Unlike BDS there is no global epoch: many cluster
+// leaders are active in one round, which is exactly what the parallel path
+// exploits.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cluster/hierarchy.h"
@@ -49,6 +60,7 @@
 #include "core/scheduler.h"
 #include "net/metric.h"
 #include "net/network.h"
+#include "net/outbox.h"
 #include "txn/coloring.h"
 
 namespace stableshard::core {
@@ -72,7 +84,10 @@ class FdsScheduler final : public Scheduler {
                const FdsConfig& config = {});
 
   void Inject(const txn::Transaction& txn) override;
-  void Step(Round round) override;
+  void BeginRound(Round round) override;
+  void StepShard(ShardId shard, Round round) override;
+  void EndRound(Round round) override;
+  ShardId shard_count() const override { return metric_->shard_count(); }
   bool Idle() const override;
   double LeaderQueueMean() const override;
   std::uint64_t MessagesSent() const override {
@@ -86,15 +101,14 @@ class FdsScheduler final : public Scheduler {
   /// Introspection.
   Round epoch_length(std::uint32_t layer) const;
   Round base_epoch_length() const { return e0_; }
-  std::uint64_t reschedules() const { return reschedules_; }
+  std::uint64_t reschedules() const;
   std::uint64_t retracts() const { return protocol_.retracts_sent(); }
   const cluster::Hierarchy& hierarchy() const { return *hierarchy_; }
+  const net::Network<Message>& network() const { return network_; }
 
  private:
+  /// Cluster scheduling state, owned by the cluster's leader shard.
   struct ClusterState {
-    /// Transactions buffered at home shards, awaiting the next epoch start
-    /// (keyed by home shard for per-home batches).
-    std::unordered_map<ShardId, std::vector<txn::Transaction>> home_buffer;
     /// Batches that arrived at the leader during the current epoch.
     std::vector<txn::Transaction> incoming;
     /// sch_ldr: scheduled but not yet decided transactions.
@@ -102,23 +116,34 @@ class FdsScheduler final : public Scheduler {
     bool ever_used = false;
   };
 
-  void RunEpochStart(const cluster::Cluster& cluster, Round round);
-  void RunColoring(const cluster::Cluster& cluster, Round round);
-  void OnDecided(TxnId txn, bool committed);
+  void RunColoring(const cluster::Cluster& cluster, ShardId leader,
+                   Round round);
+  void OnDecided(TxnId txn, std::uint32_t cluster, bool committed);
 
   const net::ShardMetric* metric_;
   const cluster::Hierarchy* hierarchy_;
   CommitLedger* ledger_;
   FdsConfig config_;
   net::Network<Message> network_;
+  net::OutboxSet<Message> outbox_;
   CommitProtocol protocol_;
 
   Round e0_ = 4;  ///< base (layer-0) epoch length
   std::vector<ClusterState> cluster_state_;      // by cluster id
   std::vector<std::uint32_t> leadered_clusters_; // ids of usable clusters
-  std::unordered_map<TxnId, std::uint32_t> txn_cluster_;
-  std::uint64_t buffered_ = 0;  ///< txns waiting in home buffers
-  std::uint64_t reschedules_ = 0;
+
+  // Home-side buffers: per home shard, cluster id -> transactions waiting
+  // for that cluster's next epoch start (std::map so the shard's flush
+  // order is deterministic).
+  std::vector<std::map<std::uint32_t, std::vector<txn::Transaction>>>
+      home_outgoing_;
+  std::vector<std::uint64_t> buffered_by_home_;
+
+  // BeginRound output: clusters to color this round, grouped by leader.
+  std::vector<std::vector<std::uint32_t>> coloring_work_;  // by shard
+
+  // Per-leader-shard counters (summed by the serial getters).
+  std::vector<std::uint64_t> reschedules_by_shard_;
   std::uint64_t used_cluster_count_ = 0;
 };
 

@@ -3,7 +3,29 @@
 // A Scheduler consumes injected transactions and drives the per-round
 // protocol that eventually commits (or aborts) each one through the
 // CommitLedger. The engine calls Inject() for every transaction generated
-// by the adversary at the start of a round, then Step(round) exactly once.
+// by the adversary at the start of a round, then executes the round in
+// three phases:
+//
+//   BeginRound(round)        serial — epoch transitions, leader selection,
+//                            per-round work planning; no message traffic.
+//   StepShard(shard, round)  parallel-safe — runs shard `shard`'s slice of
+//                            the round: drains Network::DeliverTo(shard),
+//                            executes phase logic that touches only
+//                            shard-owned state, and queues sends on the
+//                            shard's OutboxSet lane. The engine may invoke
+//                            StepShard for distinct shards concurrently;
+//                            implementations must not touch shared mutable
+//                            state here (ledger bookkeeping goes through
+//                            CommitLedger::ApplyConfirmDeferred).
+//   EndRound(round)          serial — flushes outbox lanes into the
+//                            network in shard order and commits the
+//                            ledger's round journal.
+//
+// The decomposition is deterministic by construction: StepShard bodies are
+// pairwise independent and all cross-shard effects funnel through the
+// shard-ordered flush, so `worker_threads = 1` and `worker_threads = N`
+// produce bit-identical results (asserted by tests/parallel_engine_test).
+// Step(round) is the serial convenience driver for tests and examples.
 #pragma once
 
 #include <cstdint>
@@ -17,14 +39,35 @@ class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
-  /// A transaction arrives at its home shard's injection queue.
+  /// A transaction arrives at its home shard's injection queue (serial,
+  /// between rounds).
   virtual void Inject(const txn::Transaction& txn) = 0;
 
-  /// Execute one synchronous round (deliver messages, run the phase logic,
-  /// send messages). Rounds are strictly increasing, starting at 0.
-  virtual void Step(Round round) = 0;
+  /// Serial prologue of one synchronous round. Rounds are strictly
+  /// increasing, starting at 0.
+  virtual void BeginRound(Round round) = 0;
 
-  /// No pending work anywhere (used by drain-mode liveness tests).
+  /// Shard `shard`'s slice of the round (see the contract above). Called
+  /// exactly once per shard per round, possibly concurrently across shards.
+  virtual void StepShard(ShardId shard, Round round) = 0;
+
+  /// Serial epilogue: publish queued sends and ledger bookkeeping.
+  virtual void EndRound(Round round) = 0;
+
+  /// Number of shards this scheduler operates (== StepShard fan-out).
+  virtual ShardId shard_count() const = 0;
+
+  /// Serial convenience driver: one full round on the calling thread.
+  void Step(Round round) {
+    BeginRound(round);
+    const ShardId shards = shard_count();
+    for (ShardId shard = 0; shard < shards; ++shard) {
+      StepShard(shard, round);
+    }
+    EndRound(round);
+  }
+
+  /// No pending work anywhere (used by drain-mode liveness tests). Serial.
   virtual bool Idle() const = 0;
 
   /// Scheduler-specific "queue size at the coordinating shards" metric:

@@ -1,0 +1,83 @@
+// Scheduler registry: name -> builder, so schedulers plug into the engine
+// without the engine naming them.
+//
+// Each scheduler translation unit self-registers at static-init time via a
+// SchedulerRegistrar (see the bottom of bds.cc / fds.cc / direct.cc).
+// Simulation looks the configured name up here, so adding a scheduler —
+// in-tree or in an embedding application — requires zero engine edits:
+// define the class, register a builder, set SimConfig::scheduler to the new
+// name. The core library is linked as a CMake OBJECT library precisely so
+// that these registrar objects are never dead-stripped.
+//
+// Builders receive the validated SimConfig plus a SchedulerDeps bundle of
+// engine-owned runtime services. The hierarchy is provided as a lazy
+// accessor: only schedulers that actually need a cluster decomposition pay
+// for building one.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/scheduler.h"
+
+namespace stableshard::cluster {
+class Hierarchy;
+}  // namespace stableshard::cluster
+
+namespace stableshard::net {
+class ShardMetric;
+}  // namespace stableshard::net
+
+namespace stableshard::core {
+
+class CommitLedger;
+
+/// Runtime services the engine hands to scheduler builders.
+struct SchedulerDeps {
+  const net::ShardMetric& metric;
+  CommitLedger& ledger;
+  /// Builds (once) and returns the cluster hierarchy configured by
+  /// SimConfig::hierarchy; the engine owns the result.
+  std::function<const cluster::Hierarchy&()> hierarchy;
+};
+
+class SchedulerRegistry {
+ public:
+  using Builder =
+      std::function<std::unique_ptr<Scheduler>(const SimConfig&,
+                                               SchedulerDeps&)>;
+
+  /// The process-wide registry (static-init safe).
+  static SchedulerRegistry& Global();
+
+  /// Register `builder` under `name`; aborts on duplicates.
+  void Register(const std::string& name, Builder builder);
+
+  bool Contains(const std::string& name) const;
+
+  /// Build the scheduler registered under `name`; aborts with the list of
+  /// known names if `name` is unknown.
+  std::unique_ptr<Scheduler> Build(const std::string& name,
+                                   const SimConfig& config,
+                                   SchedulerDeps& deps) const;
+
+  /// Registered names, sorted (CLI help, error messages).
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Builder> builders_;
+};
+
+/// Static-init helper: `const SchedulerRegistrar r{"name", builder};`
+struct SchedulerRegistrar {
+  SchedulerRegistrar(const std::string& name,
+                     SchedulerRegistry::Builder builder) {
+    SchedulerRegistry::Global().Register(name, std::move(builder));
+  }
+};
+
+}  // namespace stableshard::core

@@ -10,12 +10,34 @@
 // by all non-faulty nodes of the receiving shard within the round budget.
 // Here we account for traffic (messages, payload units) and delay only.
 //
+// Storage is a ring buffer of round buckets partitioned by destination
+// shard: slot (deliver % slot_count, dest). Because every delivery offset
+// is in [1, Diameter], slot_count = Diameter + 2 guarantees no two live
+// rounds share a slot, so Send is O(1) amortized and delivery is O(due)
+// with no tree rebalancing (the previous implementation kept a global
+// std::map<Round, vector> calendar). The bucket table is dense —
+// O(Diameter * s) empty vectors — which is small for the uniform model but
+// grows to O(s^2) on line/ring topologies (s = 1024 line: ~1M buckets,
+// ~25 MB); a lazily grown per-destination ring is the planned mitigation
+// for the s >= 1024 sweeps (see ROADMAP).
+//
+// Concurrency contract (the shard-parallel round loop relies on it):
+//   * Send may only be called from serial phases (BeginRound/EndRound or
+//     fully single-threaded drivers);
+//   * DeliverTo(shard, round) may run concurrently for *distinct* shards:
+//     it touches only that destination's bucket and per-shard counters
+//     (delivered_total_ is a relaxed atomic used for stats only);
+//   * every (shard, round) pair must be drained in round order — the
+//     synchronous simulation steps every shard every round, which is what
+//     keeps ring slots empty before reuse (DCHECKed per envelope).
+//
 // Network<Payload> is a class template so each scheduler can use its own
 // message variant without type erasure on the hot path.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <utility>
 #include <vector>
 
@@ -32,6 +54,14 @@ struct TrafficStats {
   std::uint64_t max_in_flight = 0;  ///< peak undelivered messages
 };
 
+/// Per-shard traffic split (DoS forensics, load-balance introspection).
+struct ShardTraffic {
+  std::uint64_t messages_in = 0;
+  std::uint64_t messages_out = 0;
+  std::uint64_t payload_in = 0;
+  std::uint64_t payload_out = 0;
+};
+
 template <typename Payload>
 class Network {
  public:
@@ -40,55 +70,105 @@ class Network {
     ShardId to;
     Round sent;
     Round deliver;
+    std::uint64_t seq;  ///< global send order (Deliver() merge key)
     Payload payload;
   };
 
-  explicit Network(const ShardMetric& metric) : metric_(&metric) {}
+  explicit Network(const ShardMetric& metric)
+      : metric_(&metric),
+        shard_count_(metric.shard_count()),
+        slot_count_(static_cast<std::size_t>(metric.Diameter()) + 2),
+        buckets_(slot_count_ * shard_count_),
+        pending_by_dest_(shard_count_),
+        shard_traffic_(shard_count_) {}
 
   /// Queue `payload` from shard `from` to shard `to` at round `now`.
   /// `payload_units` is the caller-declared logical size (e.g. transaction
   /// count) used for the O(bs) message-size accounting of Section 3.
+  /// Serial phases only — see the concurrency contract above.
   void Send(ShardId from, ShardId to, Round now, Payload payload,
             std::uint64_t payload_units = 1) {
-    SSHARD_DCHECK(from < metric_->shard_count());
-    SSHARD_DCHECK(to < metric_->shard_count());
+    SSHARD_DCHECK(from < shard_count_);
+    SSHARD_DCHECK(to < shard_count_);
     const Distance d = from == to ? 1 : metric_->distance(from, to);
     const Round deliver = now + d;
-    in_flight_[deliver].push_back(
-        Envelope{from, to, now, deliver, std::move(payload)});
+    buckets_[BucketIndex(deliver, to)].push_back(
+        Envelope{from, to, now, deliver, seq_++, std::move(payload)});
     ++stats_.messages_sent;
     stats_.payload_units += payload_units;
-    pending_count_ += 1;
-    if (pending_count_ > stats_.max_in_flight) {
-      stats_.max_in_flight = pending_count_;
-    }
+    ++shard_traffic_[from].messages_out;
+    ++shard_traffic_[to].messages_in;
+    shard_traffic_[from].payload_out += payload_units;
+    shard_traffic_[to].payload_in += payload_units;
+    ++pending_by_dest_[to];
+    // Exact at every Send: deliveries never run concurrently with sends.
+    const std::uint64_t in_flight =
+        stats_.messages_sent -
+        delivered_total_.load(std::memory_order_relaxed);
+    if (in_flight > stats_.max_in_flight) stats_.max_in_flight = in_flight;
   }
 
-  /// Remove and return every message due at round `now`. Messages are
-  /// returned in deterministic (send-order) sequence.
-  std::vector<Envelope> Deliver(Round now) {
-    std::vector<Envelope> due;
-    auto it = in_flight_.find(now);
-    if (it != in_flight_.end()) {
-      due = std::move(it->second);
-      in_flight_.erase(it);
-      pending_count_ -= due.size();
+  /// Remove and return every message addressed to `shard` due at round
+  /// `now`, in send order. Safe to call concurrently for distinct shards.
+  std::vector<Envelope> DeliverTo(ShardId shard, Round now) {
+    SSHARD_DCHECK(shard < shard_count_);
+    std::vector<Envelope>& bucket = buckets_[BucketIndex(now, shard)];
+    std::vector<Envelope> due = std::move(bucket);
+    bucket.clear();
+    for ([[maybe_unused]] const Envelope& envelope : due) {
+      // A stale envelope here means some (shard, round) was never drained
+      // and the ring slot got reused — a round-loop bug, not a data bug.
+      SSHARD_DCHECK(envelope.deliver == now && envelope.to == shard);
     }
-    // A synchronous simulation drives Deliver() for every round in order, so
-    // nothing earlier than `now` may remain.
-    SSHARD_DCHECK(in_flight_.empty() || in_flight_.begin()->first > now);
+    pending_by_dest_[shard] -= due.size();
+    delivered_total_.fetch_add(due.size(), std::memory_order_relaxed);
     return due;
   }
 
-  bool HasPending() const { return pending_count_ > 0; }
-  std::uint64_t pending_count() const { return pending_count_; }
+  /// Remove and return every message due at round `now` across all shards,
+  /// merged back into global send order (serial drivers and tests).
+  std::vector<Envelope> Deliver(Round now) {
+    std::vector<Envelope> due;
+    for (ShardId shard = 0; shard < shard_count_; ++shard) {
+      std::vector<Envelope> part = DeliverTo(shard, now);
+      due.insert(due.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    std::sort(due.begin(), due.end(),
+              [](const Envelope& a, const Envelope& b) { return a.seq < b.seq; });
+    return due;
+  }
+
+  bool HasPending() const { return pending_count() > 0; }
+  std::uint64_t pending_count() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t count : pending_by_dest_) total += count;
+    return total;
+  }
+  /// Undelivered messages addressed to one shard.
+  std::uint64_t pending_for(ShardId shard) const {
+    return pending_by_dest_[shard];
+  }
   const TrafficStats& stats() const { return stats_; }
+  const ShardTraffic& shard_traffic(ShardId shard) const {
+    return shard_traffic_[shard];
+  }
   const ShardMetric& metric() const { return *metric_; }
 
  private:
+  std::size_t BucketIndex(Round deliver, ShardId dest) const {
+    return static_cast<std::size_t>(deliver % slot_count_) * shard_count_ +
+           dest;
+  }
+
   const ShardMetric* metric_;
-  std::map<Round, std::vector<Envelope>> in_flight_;
-  std::uint64_t pending_count_ = 0;
+  ShardId shard_count_;
+  std::size_t slot_count_;
+  std::vector<std::vector<Envelope>> buckets_;  // [round % slots][dest]
+  std::vector<std::uint64_t> pending_by_dest_;
+  std::vector<ShardTraffic> shard_traffic_;
+  std::uint64_t seq_ = 0;
+  std::atomic<std::uint64_t> delivered_total_{0};
   TrafficStats stats_;
 };
 

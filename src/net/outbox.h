@@ -1,0 +1,67 @@
+// Per-shard send lanes for the shard-parallel round loop.
+//
+// During StepShard(shard, round) a scheduler may only mutate shard-local
+// state, so it cannot call Network::Send (a serial-phase operation)
+// directly. Instead every acting shard appends to its own lane — lane index
+// == the sending shard — and EndRound flushes lanes 0..s-1 in order. The
+// flush order is a pure function of per-lane contents, so the resulting
+// global send sequence (and hence every downstream delivery order) is
+// bit-identical no matter how StepShard calls were scheduled across
+// threads.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "net/network.h"
+
+namespace stableshard::net {
+
+template <typename Payload>
+class OutboxSet {
+ public:
+  struct Item {
+    ShardId to;
+    std::uint64_t payload_units;
+    Payload payload;
+  };
+
+  explicit OutboxSet(ShardId shards) : lanes_(shards) {}
+
+  /// Queue a send from `from` to `to`. Must only be called from the
+  /// StepShard invocation of shard `from` (or a serial phase).
+  void Send(ShardId from, ShardId to, Payload payload,
+            std::uint64_t payload_units = 1) {
+    SSHARD_DCHECK(from < lanes_.size());
+    lanes_[from].push_back(Item{to, payload_units, std::move(payload)});
+  }
+
+  /// Serial: hand every queued item to the network at round `now`, lane by
+  /// lane in shard order, preserving per-lane append order.
+  void Flush(Network<Payload>& network, Round now) {
+    for (ShardId from = 0; from < lanes_.size(); ++from) {
+      for (Item& item : lanes_[from]) {
+        network.Send(from, item.to, now, std::move(item.payload),
+                     item.payload_units);
+      }
+      lanes_[from].clear();
+    }
+  }
+
+  bool Empty() const {
+    for (const auto& lane : lanes_) {
+      if (!lane.empty()) return false;
+    }
+    return true;
+  }
+
+  ShardId shard_count() const { return static_cast<ShardId>(lanes_.size()); }
+
+ private:
+  std::vector<std::vector<Item>> lanes_;
+};
+
+}  // namespace stableshard::net

@@ -65,7 +65,9 @@ ConflictGraph::ConflictGraph(const std::vector<const Transaction*>& txns,
     }
   }
 
-  // Deduplicate (two txns may share several accounts).
+  // Sort + deduplicate (two txns may share several accounts). Sorted
+  // adjacency is a class invariant: HasEdge binary-searches it, which keeps
+  // serializability checks O(log d) per probe on burst epochs.
   for (std::size_t v = 0; v < n; ++v) {
     auto& adj = adjacency_[v];
     std::sort(adj.begin(), adj.end());
@@ -85,6 +87,7 @@ std::size_t ConflictGraph::MaxDegree() const {
 
 bool ConflictGraph::HasEdge(std::size_t a, std::size_t b) const {
   const auto& adj = adjacency_[a];
+  SSHARD_DCHECK(std::is_sorted(adj.begin(), adj.end()));
   return std::binary_search(adj.begin(), adj.end(),
                             static_cast<std::uint32_t>(b));
 }

@@ -41,6 +41,8 @@ class ConflictGraph {
                              ConflictGranularity::kAccount);
 
   std::size_t size() const { return adjacency_.size(); }
+  /// Neighbor vertex indices, sorted ascending and deduplicated (class
+  /// invariant established at construction; HasEdge relies on it).
   const std::vector<std::uint32_t>& neighbors(std::size_t v) const {
     return adjacency_[v];
   }

@@ -13,7 +13,6 @@
 namespace stableshard {
 namespace {
 
-using core::SchedulerKind;
 using core::SimConfig;
 using core::Simulation;
 using core::StrategyKind;
@@ -21,7 +20,7 @@ using test::ExpectDrainedRunInvariants;
 using test::SmallConfig;
 
 TEST(Bds, DrainsAndCommitsEverything) {
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   Simulation sim(config);
   const auto result = sim.Run();
   EXPECT_GT(result.injected, 0u);
@@ -30,7 +29,7 @@ TEST(Bds, DrainsAndCommitsEverything) {
 }
 
 TEST(Bds, RequiresUniformModel) {
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   config.topology = net::TopologyKind::kLine;
   EXPECT_DEATH(Simulation sim(config), "uniform");
 }
@@ -47,7 +46,7 @@ class BdsProperty : public ::testing::TestWithParam<BdsCase> {};
 
 TEST_P(BdsProperty, InvariantsAcrossConfigs) {
   const BdsCase param = GetParam();
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   config.shards = param.shards;
   config.accounts = param.accounts;
   config.k = param.k;
@@ -87,7 +86,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Bds, EpochLengthWithinLemma1Bound) {
   // Lemma 1: at rho <= bound and burstiness b, every epoch has length at
   // most tau = 18 * b * min{k, ceil(sqrt(s))}.
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   config.shards = 16;
   config.accounts = 16;
   config.k = 4;
@@ -104,7 +103,7 @@ TEST(Bds, EpochLengthWithinLemma1Bound) {
 }
 
 TEST(Bds, LatencyWithinTheorem2Bound) {
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   config.shards = 16;
   config.accounts = 16;
   config.k = 4;
@@ -121,7 +120,7 @@ TEST(Bds, LatencyWithinTheorem2Bound) {
 }
 
 TEST(Bds, LeaderRotates) {
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   config.rounds = 200;
   config.drain_cap = 0;
   // Light load so epochs stay short and many leader rotations happen.
@@ -138,7 +137,7 @@ TEST(Bds, LeaderRotates) {
 }
 
 TEST(Bds, FixedLeaderWhenRotationDisabled) {
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   config.bds_rotate_leader = false;
   config.rounds = 200;
   config.drain_cap = 0;
@@ -149,7 +148,7 @@ TEST(Bds, FixedLeaderWhenRotationDisabled) {
 }
 
 TEST(Bds, AbortingTransactionsResolve) {
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   config.abort_probability = 0.3;
   Simulation sim(config);
   const auto result = sim.Run();
@@ -159,7 +158,7 @@ TEST(Bds, AbortingTransactionsResolve) {
 }
 
 TEST(Bds, AbortedTxnsLeaveNoBlocks) {
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   config.abort_probability = 1.0;  // every txn carries a failing condition
   Simulation sim(config);
   const auto result = sim.Run();
@@ -173,7 +172,7 @@ TEST(Bds, AbortedTxnsLeaveNoBlocks) {
 TEST(Bds, EmptyEpochsAreShort) {
   // With no injections at all, epochs tick over at length 2 and nothing
   // breaks.
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   config.rho = 0.001;
   config.burstiness = 1;
   config.burst_round = kNoRound;
@@ -188,7 +187,7 @@ TEST(Bds, ColoringAlternativesAllCorrect) {
   for (const auto algorithm :
        {txn::ColoringAlgorithm::kGreedy, txn::ColoringAlgorithm::kWelshPowell,
         txn::ColoringAlgorithm::kDsatur}) {
-    SimConfig config = SmallConfig(SchedulerKind::kBds);
+    SimConfig config = SmallConfig("bds");
     config.coloring = algorithm;
     config.rounds = 800;
     Simulation sim(config);
@@ -200,7 +199,7 @@ TEST(Bds, ColoringAlternativesAllCorrect) {
 TEST(Bds, BalanceConservationUnderTransfers) {
   // The touch workload deposits 0 everywhere, so total balance must stay at
   // accounts * initial_balance.
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   Simulation sim(config);
   sim.Run();
   chain::Balance total = 0;

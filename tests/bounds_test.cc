@@ -13,7 +13,6 @@
 namespace stableshard {
 namespace {
 
-using core::SchedulerKind;
 using core::SimConfig;
 using core::Simulation;
 
@@ -30,7 +29,7 @@ class Theorem2Bounds : public ::testing::TestWithParam<BoundsCase> {};
 TEST_P(Theorem2Bounds, QueueAndLatencyWithinPaperBounds) {
   const BoundsCase param = GetParam();
   SimConfig config;
-  config.scheduler = SchedulerKind::kBds;
+  config.scheduler = "bds";
   config.topology = net::TopologyKind::kUniform;
   config.shards = param.shards;
   config.accounts = param.shards;  // one account per shard (paper setup)
@@ -78,7 +77,7 @@ TEST(Bounds, HigherBurstinessRaisesQueuesNotInstability) {
   double previous_peak = 0;
   for (const double b : {5.0, 20.0, 60.0}) {
     SimConfig config;
-    config.scheduler = SchedulerKind::kBds;
+    config.scheduler = "bds";
     config.shards = 16;
     config.accounts = 16;
     config.k = 4;

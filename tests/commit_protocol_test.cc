@@ -11,6 +11,7 @@
 #include "core/commit_protocol.h"
 #include "net/metric.h"
 #include "net/network.h"
+#include "net/outbox.h"
 #include "txn/txn_factory.h"
 
 namespace stableshard::core {
@@ -24,29 +25,34 @@ class CommitProtocolTest : public ::testing::Test {
       : map_(chain::AccountMap::RoundRobin(kShards, kShards)),
         metric_(kShards),
         network_(metric_),
+        outbox_(kShards),
         ledger_(map_, 1000),
-        protocol_(network_, ledger_,
-                  [this](TxnId id, bool committed) {
+        protocol_(kShards, outbox_, ledger_,
+                  [this](TxnId id, std::uint32_t cluster, bool committed) {
+                    (void)cluster;
                     decided_.emplace_back(id, committed);
                   },
                   mode),
         factory_(map_) {}
 
-  /// Run one synchronous round: deliver + vote.
+  /// Run one synchronous round: deliver + vote + flush (the serial
+  /// equivalent of BeginRound / StepShard* / EndRound).
   void Step() {
     for (auto& envelope : network_.Deliver(round_)) {
       ASSERT_TRUE(
           protocol_.HandleMessage(envelope.to, envelope.payload, round_));
     }
     protocol_.IssueVotes(round_);
+    outbox_.Flush(network_, round_);
+    ledger_.FlushRound(round_);
     ++round_;
   }
 
   void Schedule(const txn::Transaction& txn, Height height,
                 ShardId coordinator) {
-    protocol_.Coordinate(txn, 0);
+    protocol_.Coordinate(coordinator, txn, 0);
     for (const auto& sub : txn.subs()) {
-      protocol_.SendSubTxn(coordinator, txn, sub, height, 0, round_, false);
+      protocol_.SendSubTxn(coordinator, txn, sub, height, 0, false);
     }
   }
 
@@ -58,6 +64,7 @@ class CommitProtocolTest : public ::testing::Test {
   chain::AccountMap map_;
   net::UniformMetric metric_;
   net::Network<Message> network_;
+  net::OutboxSet<Message> outbox_;
   CommitLedger ledger_;
   CommitProtocol protocol_;
   txn::TxnFactory factory_;
@@ -211,7 +218,7 @@ TEST_F(PipelinedProtocolTest, RescheduleUpdatesOrdering) {
   Step();  // arrivals
   // Height update: a moves to color 2 (behind b).
   for (const auto& sub : a.subs()) {
-    protocol_.SendSubTxn(0, a, sub, Height{40, 0, 0, 2, a.id()}, 0, round_,
+    protocol_.SendSubTxn(0, a, sub, Height{40, 0, 0, 2, a.id()}, 0,
                          /*update=*/true);
   }
   RunUntilIdle(300);

@@ -217,6 +217,23 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
   for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
 }
 
+TEST(ThreadPool, InstanceParallelForReusesLivePool) {
+  ThreadPool pool(3);
+  // Repeated fan-outs on the same workers, covering both the per-index
+  // path (count <= 8 * threads) and the chunked path (count above it).
+  for (const std::size_t count : {std::size_t{5}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(count);
+    pool.ParallelFor(count, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+  }
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, InstanceParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
 TEST(ThreadPool, WaitIsReusable) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};

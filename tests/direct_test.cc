@@ -7,14 +7,13 @@
 namespace stableshard {
 namespace {
 
-using core::SchedulerKind;
 using core::SimConfig;
 using core::Simulation;
 using test::ExpectDrainedRunInvariants;
 using test::SmallConfig;
 
 TEST(Direct, DrainsOnLine) {
-  SimConfig config = SmallConfig(SchedulerKind::kDirect);
+  SimConfig config = SmallConfig("direct");
   Simulation sim(config);
   const auto result = sim.Run();
   EXPECT_GT(result.injected, 0u);
@@ -22,7 +21,7 @@ TEST(Direct, DrainsOnLine) {
 }
 
 TEST(Direct, DrainsOnUniform) {
-  SimConfig config = SmallConfig(SchedulerKind::kDirect);
+  SimConfig config = SmallConfig("direct");
   config.topology = net::TopologyKind::kUniform;
   Simulation sim(config);
   const auto result = sim.Run();
@@ -30,7 +29,7 @@ TEST(Direct, DrainsOnUniform) {
 }
 
 TEST(Direct, HandlesAborts) {
-  SimConfig config = SmallConfig(SchedulerKind::kDirect);
+  SimConfig config = SmallConfig("direct");
   config.abort_probability = 0.5;
   Simulation sim(config);
   const auto result = sim.Run();
@@ -39,7 +38,7 @@ TEST(Direct, HandlesAborts) {
 }
 
 TEST(Direct, HotspotFullySerializes) {
-  SimConfig config = SmallConfig(SchedulerKind::kDirect);
+  SimConfig config = SmallConfig("direct");
   config.strategy = core::StrategyKind::kHotspot;
   config.burstiness = 10;
   Simulation sim(config);
@@ -56,7 +55,7 @@ TEST(Direct, HotspotFullySerializes) {
 }
 
 TEST(Direct, WideTransactionsStillLive) {
-  SimConfig config = SmallConfig(SchedulerKind::kDirect);
+  SimConfig config = SmallConfig("direct");
   config.k = 8;
   config.burstiness = 40;
   config.drain_cap = 200000;

@@ -9,13 +9,12 @@ namespace stableshard {
 namespace {
 
 using core::RunSweep;
-using core::SchedulerKind;
 using core::SimConfig;
 using core::Simulation;
 using test::SmallConfig;
 
 TEST(Engine, DeterministicForSameSeed) {
-  const SimConfig config = SmallConfig(SchedulerKind::kBds);
+  const SimConfig config = SmallConfig("bds");
   Simulation a(config), b(config);
   const auto ra = a.Run();
   const auto rb = b.Run();
@@ -27,7 +26,7 @@ TEST(Engine, DeterministicForSameSeed) {
 }
 
 TEST(Engine, DifferentSeedsDiffer) {
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   Simulation a(config);
   config.seed = 999;
   Simulation b(config);
@@ -41,7 +40,7 @@ TEST(Engine, DifferentSeedsDiffer) {
 TEST(Engine, SweepMatchesSerialRuns) {
   std::vector<SimConfig> configs;
   for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
-    SimConfig config = SmallConfig(SchedulerKind::kBds);
+    SimConfig config = SmallConfig("bds");
     config.rounds = 400;
     config.seed = seed;
     configs.push_back(config);
@@ -58,7 +57,7 @@ TEST(Engine, SweepMatchesSerialRuns) {
 }
 
 TEST(Engine, SeriesRecording) {
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   config.rounds = 500;
   config.drain_cap = 0;
   Simulation sim(config);
@@ -69,7 +68,7 @@ TEST(Engine, SeriesRecording) {
 }
 
 TEST(Engine, MessageAccountingNonTrivial) {
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   Simulation sim(config);
   const auto result = sim.Run();
   // Every transaction needs at least 4 protocol messages (subtxn, vote,
@@ -79,7 +78,7 @@ TEST(Engine, MessageAccountingNonTrivial) {
 }
 
 TEST(Engine, DescribeMentionsKeyParameters) {
-  SimConfig config = SmallConfig(SchedulerKind::kFds);
+  SimConfig config = SmallConfig("fds");
   const auto description = config.Describe();
   EXPECT_NE(description.find("fds"), std::string::npos);
   EXPECT_NE(description.find("s=16"), std::string::npos);
@@ -87,7 +86,7 @@ TEST(Engine, DescribeMentionsKeyParameters) {
 }
 
 TEST(EngineDeath, RunTwiceAborts) {
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   config.rounds = 10;
   config.drain_cap = 0;
   Simulation sim(config);
@@ -96,7 +95,7 @@ TEST(EngineDeath, RunTwiceAborts) {
 }
 
 TEST(EngineDeath, InvalidRhoRejected) {
-  SimConfig config = SmallConfig(SchedulerKind::kBds);
+  SimConfig config = SmallConfig("bds");
   config.rho = 0.0;
   EXPECT_DEATH(Simulation sim(config), "SSHARD_CHECK");
   config.rho = 1.5;

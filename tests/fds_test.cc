@@ -13,7 +13,6 @@ namespace stableshard {
 namespace {
 
 using core::HierarchyKind;
-using core::SchedulerKind;
 using core::SimConfig;
 using core::Simulation;
 using core::StrategyKind;
@@ -21,7 +20,7 @@ using test::ExpectDrainedRunInvariants;
 using test::SmallConfig;
 
 TEST(Fds, DrainsAndCommitsOnLine) {
-  SimConfig config = SmallConfig(SchedulerKind::kFds);
+  SimConfig config = SmallConfig("fds");
   Simulation sim(config);
   const auto result = sim.Run();
   EXPECT_GT(result.injected, 0u);
@@ -43,7 +42,7 @@ class FdsProperty : public ::testing::TestWithParam<FdsCase> {};
 
 TEST_P(FdsProperty, InvariantsAcrossConfigs) {
   const FdsCase param = GetParam();
-  SimConfig config = SmallConfig(SchedulerKind::kFds);
+  SimConfig config = SmallConfig("fds");
   config.topology = param.topology;
   config.hierarchy = param.hierarchy;
   config.shards = param.shards;
@@ -99,7 +98,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(Fds, EpochLengthsAreAlignedPowersOfTwo) {
-  SimConfig config = SmallConfig(SchedulerKind::kFds);
+  SimConfig config = SmallConfig("fds");
   Simulation sim(config);
   auto& scheduler = dynamic_cast<core::FdsScheduler&>(sim.scheduler());
   const Round e0 = scheduler.base_epoch_length();
@@ -114,7 +113,7 @@ TEST(Fds, EpochLengthsAreAlignedPowersOfTwo) {
 }
 
 TEST(Fds, ReschedulingHappensWhenEnabled) {
-  SimConfig config = SmallConfig(SchedulerKind::kFds);
+  SimConfig config = SmallConfig("fds");
   config.burstiness = 60;  // enough backlog to straddle rescheduling periods
   config.rho = 0.02;
   config.rounds = 4000;
@@ -126,7 +125,7 @@ TEST(Fds, ReschedulingHappensWhenEnabled) {
 }
 
 TEST(Fds, NoReschedulingWhenDisabled) {
-  SimConfig config = SmallConfig(SchedulerKind::kFds);
+  SimConfig config = SmallConfig("fds");
   config.fds_reschedule = false;
   Simulation sim(config);
   auto& scheduler = dynamic_cast<core::FdsScheduler&>(sim.scheduler());
@@ -138,7 +137,7 @@ TEST(Fds, NoReschedulingWhenDisabled) {
 TEST(Fds, LocalWorkloadUsesLowLayers) {
   // With radius-1 transactions, home clusters should mostly be low-layer,
   // giving much lower latency than the diameter would suggest.
-  SimConfig config = SmallConfig(SchedulerKind::kFds);
+  SimConfig config = SmallConfig("fds");
   config.shards = 32;
   config.accounts = 32;
   config.strategy = StrategyKind::kLocal;
@@ -154,7 +153,7 @@ TEST(Fds, LocalWorkloadUsesLowLayers) {
 }
 
 TEST(Fds, AbortsResolveEverywhere) {
-  SimConfig config = SmallConfig(SchedulerKind::kFds);
+  SimConfig config = SmallConfig("fds");
   config.abort_probability = 0.4;
   Simulation sim(config);
   const auto result = sim.Run();
@@ -164,7 +163,7 @@ TEST(Fds, AbortsResolveEverywhere) {
 
 TEST(Fds, PendingBoundAtAdmissibleRate) {
   // Theorem 3 shape check: at a very low rate, pending never exceeds 4bs.
-  SimConfig config = SmallConfig(SchedulerKind::kFds);
+  SimConfig config = SmallConfig("fds");
   config.rho = 0.005;
   config.burstiness = 10;
   config.rounds = 5000;
@@ -176,7 +175,7 @@ TEST(Fds, PendingBoundAtAdmissibleRate) {
 }
 
 TEST(Fds, LeaderQueueMetricPositiveUnderLoad) {
-  SimConfig config = SmallConfig(SchedulerKind::kFds);
+  SimConfig config = SmallConfig("fds");
   config.burstiness = 50;
   config.drain_cap = 0;
   config.rounds = 500;
@@ -189,7 +188,7 @@ TEST(Fds, RetractHandshakeKeepsSystemLive) {
   // Wide transactions on a line topology maximize cross-cluster inversions;
   // the run must still drain (deadlock would exhaust drain_cap). Pinned
   // mode is the one that needs the retract handshake.
-  SimConfig config = SmallConfig(SchedulerKind::kFds);
+  SimConfig config = SmallConfig("fds");
   config.fds_pipelined = false;
   config.shards = 24;
   config.accounts = 24;

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "net/metric.h"
 #include "net/network.h"
+#include "net/outbox.h"
 #include "net/topology_factory.h"
 
 namespace stableshard::net {
@@ -148,6 +149,127 @@ TEST(Network, PreservesSendOrderWithinRound) {
   const auto delivered = network.Deliver(1);
   ASSERT_EQ(delivered.size(), 10u);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(delivered[i].payload, i);
+}
+
+TEST(Network, DeliverToPartitionsByDestination) {
+  UniformMetric metric(4);
+  Network<int> network(metric);
+  // Interleave sends to two destinations from several sources.
+  network.Send(0, 1, 0, 100);
+  network.Send(0, 2, 0, 200);
+  network.Send(3, 1, 0, 101);
+  network.Send(3, 2, 0, 201);
+  network.Send(2, 1, 0, 102);
+
+  auto to1 = network.DeliverTo(1, 1);
+  ASSERT_EQ(to1.size(), 3u);
+  // Per-destination send order is preserved.
+  EXPECT_EQ(to1[0].payload, 100);
+  EXPECT_EQ(to1[1].payload, 101);
+  EXPECT_EQ(to1[2].payload, 102);
+  EXPECT_EQ(network.pending_for(1), 0u);
+  EXPECT_EQ(network.pending_for(2), 2u);
+  EXPECT_TRUE(network.HasPending());
+
+  auto to2 = network.DeliverTo(2, 1);
+  ASSERT_EQ(to2.size(), 2u);
+  EXPECT_EQ(to2[0].payload, 200);
+  EXPECT_EQ(to2[1].payload, 201);
+  EXPECT_FALSE(network.HasPending());
+  // Empty re-delivery is harmless.
+  EXPECT_TRUE(network.DeliverTo(1, 1).empty());
+}
+
+TEST(Network, DeliverMergesBucketsInGlobalSendOrder) {
+  UniformMetric metric(4);
+  Network<int> network(metric);
+  network.Send(0, 3, 0, 0);
+  network.Send(0, 1, 0, 1);
+  network.Send(0, 2, 0, 2);
+  network.Send(0, 1, 0, 3);
+  const auto delivered = network.Deliver(1);
+  ASSERT_EQ(delivered.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(delivered[i].payload, i);
+}
+
+TEST(Network, RingBucketsReusedAcrossManyRounds) {
+  // Drive far more rounds than the ring has slots (diameter 7 -> 9 slots)
+  // to prove slots recycle cleanly, with mixed distances in flight.
+  LineMetric metric(8);
+  Network<int> network(metric);
+  std::uint64_t delivered = 0;
+  for (Round round = 0; round < 100; ++round) {
+    network.Send(0, 7, round, static_cast<int>(round));      // distance 7
+    network.Send(3, 4, round, static_cast<int>(round) + 1);  // distance 1
+    for (ShardId shard = 0; shard < 8; ++shard) {
+      for (const auto& envelope : network.DeliverTo(shard, round)) {
+        EXPECT_EQ(envelope.deliver, round);
+        EXPECT_EQ(envelope.to, shard);
+        ++delivered;
+      }
+    }
+  }
+  // All distance-1 messages (sent rounds 0..98 deliver 1..99) and the
+  // distance-7 messages sent up to round 92 have been delivered.
+  EXPECT_EQ(delivered, 99u + 93u);
+  EXPECT_EQ(network.pending_count(), 2 * 100u - delivered);
+}
+
+TEST(Network, PerShardTrafficAccounting) {
+  UniformMetric metric(3);
+  Network<int> network(metric);
+  network.Send(0, 1, 0, 7, /*payload_units=*/5);
+  network.Send(0, 2, 0, 8);
+  network.Send(1, 0, 0, 9, /*payload_units=*/2);
+
+  EXPECT_EQ(network.shard_traffic(0).messages_out, 2u);
+  EXPECT_EQ(network.shard_traffic(0).payload_out, 6u);
+  EXPECT_EQ(network.shard_traffic(0).messages_in, 1u);
+  EXPECT_EQ(network.shard_traffic(0).payload_in, 2u);
+  EXPECT_EQ(network.shard_traffic(1).messages_in, 1u);
+  EXPECT_EQ(network.shard_traffic(1).payload_in, 5u);
+  EXPECT_EQ(network.shard_traffic(2).messages_in, 1u);
+  // Aggregate stats unchanged by the split.
+  EXPECT_EQ(network.stats().messages_sent, 3u);
+  EXPECT_EQ(network.stats().payload_units, 8u);
+}
+
+TEST(Network, MaxInFlightTracksPeakAcrossDeliveries) {
+  UniformMetric metric(4);
+  Network<int> network(metric);
+  network.Send(0, 1, 0, 1);
+  network.Send(0, 2, 0, 2);
+  network.Send(0, 3, 0, 3);
+  EXPECT_EQ(network.stats().max_in_flight, 3u);
+  network.Deliver(1);  // everything drains
+  network.Send(0, 1, 1, 4);
+  network.Send(0, 2, 1, 5);
+  // Peak is still 3: deliveries reduced in-flight before the new sends.
+  EXPECT_EQ(network.stats().max_in_flight, 3u);
+}
+
+TEST(Outbox, FlushesLanesInShardOrder) {
+  UniformMetric metric(4);
+  Network<int> network(metric);
+  OutboxSet<int> outbox(4);
+  // Write lanes out of shard order; flush must serialize lane 0 first.
+  outbox.Send(2, 0, 20);
+  outbox.Send(0, 1, 1);
+  outbox.Send(2, 1, 21, /*payload_units=*/3);
+  outbox.Send(1, 3, 10);
+  EXPECT_FALSE(outbox.Empty());
+  outbox.Flush(network, /*now=*/5);
+  EXPECT_TRUE(outbox.Empty());
+  EXPECT_EQ(network.stats().messages_sent, 4u);
+  EXPECT_EQ(network.stats().payload_units, 6u);
+
+  const auto delivered = network.Deliver(6);
+  ASSERT_EQ(delivered.size(), 4u);
+  EXPECT_EQ(delivered[0].payload, 1);   // lane 0
+  EXPECT_EQ(delivered[0].from, 0u);
+  EXPECT_EQ(delivered[1].payload, 10);  // lane 1
+  EXPECT_EQ(delivered[2].payload, 20);  // lane 2, append order
+  EXPECT_EQ(delivered[3].payload, 21);
 }
 
 TEST(TopologyFactory, ParseRoundTrip) {

@@ -1,0 +1,114 @@
+// Shard-parallel round loop tests: worker_threads = N must be bit-identical
+// to worker_threads = 1 for every scheduler (the decomposition contract of
+// core/scheduler.h), and parallel runs must satisfy the same drained-run
+// invariants as serial ones.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/engine.h"
+#include "sim_test_util.h"
+
+namespace stableshard {
+namespace {
+
+using core::SimConfig;
+using core::SimResult;
+using core::Simulation;
+using test::ExpectDrainedRunInvariants;
+using test::SmallConfig;
+
+SimResult RunWith(SimConfig config, std::uint32_t workers) {
+  config.worker_threads = workers;
+  Simulation sim(config);
+  return sim.Run();
+}
+
+void ExpectIdenticalResults(const SimResult& serial,
+                            const SimResult& parallel) {
+  EXPECT_EQ(serial.injected, parallel.injected);
+  EXPECT_EQ(serial.committed, parallel.committed);
+  EXPECT_EQ(serial.aborted, parallel.aborted);
+  EXPECT_EQ(serial.unresolved, parallel.unresolved);
+  EXPECT_EQ(serial.max_pending, parallel.max_pending);
+  EXPECT_EQ(serial.messages, parallel.messages);
+  EXPECT_EQ(serial.payload_units, parallel.payload_units);
+  EXPECT_EQ(serial.rounds_executed, parallel.rounds_executed);
+  EXPECT_EQ(serial.drained, parallel.drained);
+  // Doubles must match bit-for-bit: the parallel path performs the exact
+  // same arithmetic in the exact same order.
+  EXPECT_DOUBLE_EQ(serial.avg_pending_per_shard,
+                   parallel.avg_pending_per_shard);
+  EXPECT_DOUBLE_EQ(serial.avg_leader_queue, parallel.avg_leader_queue);
+  EXPECT_DOUBLE_EQ(serial.avg_latency, parallel.avg_latency);
+  EXPECT_DOUBLE_EQ(serial.max_latency, parallel.max_latency);
+  EXPECT_DOUBLE_EQ(serial.p50_latency, parallel.p50_latency);
+  EXPECT_DOUBLE_EQ(serial.p99_latency, parallel.p99_latency);
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
+
+TEST_P(ParallelDeterminism, MatchesSerialExecution) {
+  const auto& [scheduler, seed] = GetParam();
+  SimConfig config = SmallConfig(scheduler);
+  config.seed = seed;
+  config.rounds = 800;
+  config.drain_cap = 60000;
+  const SimResult serial = RunWith(config, 1);
+  const SimResult parallel = RunWith(config, 4);
+  ExpectIdenticalResults(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelDeterminism,
+    ::testing::Combine(::testing::Values(std::string("bds"),
+                                         std::string("fds"),
+                                         std::string("direct")),
+                       ::testing::Values(1ull, 2ull, 3ull)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::uint64_t>>&
+           info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ParallelEngine, DrainedInvariantsHoldUnderThreads) {
+  for (const char* scheduler : {"bds", "fds"}) {
+    SimConfig config = SmallConfig(scheduler);
+    config.worker_threads = 4;
+    config.rounds = 800;
+    Simulation sim(config);
+    const auto result = sim.Run();
+    EXPECT_GT(result.injected, 0u);
+    ExpectDrainedRunInvariants(sim, result,
+                               /*same_round_atomicity=*/scheduler ==
+                                   std::string("bds"));
+  }
+}
+
+TEST(ParallelEngine, PinnedModeIdenticalUnderThreads) {
+  // The pinned commit mode exercises the retract handshake; it must be
+  // thread-count-invariant too.
+  SimConfig config = SmallConfig("fds");
+  config.fds_pipelined = false;
+  config.rounds = 600;
+  const SimResult serial = RunWith(config, 1);
+  const SimResult parallel = RunWith(config, 3);
+  ExpectIdenticalResults(serial, parallel);
+}
+
+TEST(ParallelEngine, OversubscribedPoolStillIdentical) {
+  // More workers than shards (and than cores): scheduling order varies
+  // wildly, results must not.
+  SimConfig config = SmallConfig("bds");
+  config.shards = 4;
+  config.accounts = 4;
+  config.rounds = 500;
+  const SimResult serial = RunWith(config, 1);
+  const SimResult parallel = RunWith(config, 8);
+  ExpectIdenticalResults(serial, parallel);
+}
+
+}  // namespace
+}  // namespace stableshard

@@ -1,0 +1,105 @@
+// Scheduler registry tests: the engine constructs schedulers purely by
+// registered name, unknown names die with a listing, and an externally
+// registered scheduler plugs into Simulation without any engine edits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "core/direct.h"
+#include "core/engine.h"
+#include "core/scheduler_registry.h"
+#include "sim_test_util.h"
+
+namespace stableshard {
+namespace {
+
+using core::Scheduler;
+using core::SchedulerDeps;
+using core::SchedulerRegistry;
+using core::SimConfig;
+using core::Simulation;
+using test::ExpectDrainedRunInvariants;
+using test::SmallConfig;
+
+TEST(Registry, BuiltinSchedulersAreRegistered) {
+  auto& registry = SchedulerRegistry::Global();
+  EXPECT_TRUE(registry.Contains("bds"));
+  EXPECT_TRUE(registry.Contains("fds"));
+  EXPECT_TRUE(registry.Contains("direct"));
+  EXPECT_FALSE(registry.Contains("nope"));
+  const auto names = registry.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_GE(names.size(), 3u);
+}
+
+TEST(Registry, EngineBuildsEachBuiltinByName) {
+  for (const char* name : {"bds", "fds", "direct"}) {
+    SimConfig config = SmallConfig(name);
+    config.rounds = 50;
+    config.drain_cap = 0;
+    Simulation sim(config);
+    EXPECT_STREQ(sim.scheduler().name(), name);
+    sim.Run();
+  }
+}
+
+TEST(Registry, HierarchyBuiltLazily) {
+  // Only schedulers that ask for the hierarchy pay for one.
+  SimConfig bds = SmallConfig("bds");
+  bds.rounds = 10;
+  bds.drain_cap = 0;
+  Simulation bds_sim(bds);
+  EXPECT_EQ(bds_sim.hierarchy(), nullptr);
+
+  SimConfig fds = SmallConfig("fds");
+  fds.rounds = 10;
+  fds.drain_cap = 0;
+  Simulation fds_sim(fds);
+  EXPECT_NE(fds_sim.hierarchy(), nullptr);
+}
+
+TEST(Registry, ExternalSchedulerNeedsNoEngineEdits) {
+  // Register a scheduler the engine has never heard of and run a full
+  // simulation with it — the acceptance test for the registry layer.
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    SchedulerRegistry::Global().Register(
+        "test_direct_alias",
+        [](const SimConfig& config, SchedulerDeps& deps) {
+          (void)config;
+          return std::unique_ptr<Scheduler>(
+              std::make_unique<core::DirectScheduler>(deps.metric,
+                                                      deps.ledger));
+        });
+  }
+  SimConfig config = SmallConfig("direct");
+  config.scheduler = "test_direct_alias";
+  config.rounds = 400;
+  Simulation sim(config);
+  const auto result = sim.Run();
+  EXPECT_GT(result.injected, 0u);
+  ExpectDrainedRunInvariants(sim, result, /*same_round_atomicity=*/false);
+}
+
+using RegistryDeathTest = ::testing::Test;
+
+TEST(RegistryDeathTest, UnknownSchedulerDies) {
+  SimConfig config = SmallConfig("bds");
+  config.scheduler = "no_such_scheduler";
+  EXPECT_DEATH(Simulation sim(config), "unknown scheduler");
+}
+
+TEST(RegistryDeathTest, DuplicateRegistrationDies) {
+  EXPECT_DEATH(SchedulerRegistry::Global().Register(
+                   "bds",
+                   [](const SimConfig&, SchedulerDeps&) {
+                     return std::unique_ptr<Scheduler>();
+                   }),
+               "twice");
+}
+
+}  // namespace
+}  // namespace stableshard

@@ -5,13 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "chain/global_chain.h"
 #include "core/config.h"
 #include "core/engine.h"
 
 namespace stableshard::test {
 
-inline core::SimConfig SmallConfig(core::SchedulerKind scheduler) {
+inline core::SimConfig SmallConfig(const std::string& scheduler) {
   core::SimConfig config;
   config.scheduler = scheduler;
   config.shards = 16;
@@ -22,9 +24,8 @@ inline core::SimConfig SmallConfig(core::SchedulerKind scheduler) {
   config.rounds = 1500;
   config.drain_cap = 60000;
   config.seed = 7;
-  config.topology = scheduler == core::SchedulerKind::kBds
-                        ? net::TopologyKind::kUniform
-                        : net::TopologyKind::kLine;
+  config.topology = scheduler == "bds" ? net::TopologyKind::kUniform
+                                       : net::TopologyKind::kLine;
   return config;
 }
 

@@ -4,18 +4,19 @@
 // bounded on the same workload.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/math_util.h"
 #include "sim_test_util.h"
 
 namespace stableshard {
 namespace {
 
-using core::SchedulerKind;
 using core::SimConfig;
 using core::Simulation;
 using core::StrategyKind;
 
-SimConfig PairwiseConfig(double rho, SchedulerKind scheduler) {
+SimConfig PairwiseConfig(double rho, const std::string& scheduler) {
   SimConfig config;
   config.scheduler = scheduler;
   config.topology = net::TopologyKind::kUniform;
@@ -37,7 +38,7 @@ TEST(Theorem1, AboveBoundQueuesGrowUnderBds) {
   const double bound = AbsoluteStabilityUpperBound(4, 10);
   EXPECT_DOUBLE_EQ(bound, 0.5);
 
-  SimConfig config = PairwiseConfig(/*rho=*/0.9, SchedulerKind::kBds);
+  SimConfig config = PairwiseConfig(/*rho=*/0.9, "bds");
   Simulation sim(config);
   sim.EnableSeries(/*window=*/1000);
   const auto result = sim.Run();
@@ -54,7 +55,7 @@ TEST(Theorem1, AboveBoundQueuesGrowUnderBds) {
 TEST(Theorem1, BelowSchedulerBoundBdsIsStable) {
   // Below BDS's admissible rate the same workload drains.
   const double admissible = BdsStableRateBound(4, 10);
-  SimConfig config = PairwiseConfig(admissible, SchedulerKind::kBds);
+  SimConfig config = PairwiseConfig(admissible, "bds");
   config.drain_cap = 50000;
   Simulation sim(config);
   const auto result = sim.Run();
@@ -65,7 +66,7 @@ TEST(Theorem1, BelowSchedulerBoundBdsIsStable) {
 
 TEST(Theorem1, AboveBoundUnstableForDirectToo) {
   // The bound is scheduler-independent: the Direct baseline also diverges.
-  SimConfig config = PairwiseConfig(/*rho=*/0.9, SchedulerKind::kDirect);
+  SimConfig config = PairwiseConfig(/*rho=*/0.9, "direct");
   Simulation sim(config);
   sim.EnableSeries(1000);
   const auto result = sim.Run();

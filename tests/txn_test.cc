@@ -3,6 +3,9 @@
 // and conflict graph building.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "chain/account_map.h"
 #include "txn/conflict_graph.h"
 #include "txn/transaction.h"
@@ -166,6 +169,39 @@ TEST(ConflictGraph, EmptyGraph) {
   const ConflictGraph graph({});
   EXPECT_EQ(graph.size(), 0u);
   EXPECT_EQ(graph.MaxDegree(), 0u);
+}
+
+TEST(ConflictGraph, AdjacencySortedForBinarySearch) {
+  // Hub-and-spokes in deliberately shuffled input order: the hub's
+  // adjacency must come out sorted/deduplicated (HasEdge binary-searches
+  // it) and every HasEdge answer must match membership in neighbors().
+  const auto map = MakeMap(8, 8);
+  TxnFactory factory(map);
+  std::vector<Transaction> txns;
+  txns.push_back(factory.MakeTouch(0, 0, {5}));          // v0: spoke on 5
+  txns.push_back(factory.MakeTouch(0, 0, {1}));          // v1: spoke on 1
+  txns.push_back(factory.MakeTouch(0, 0, {1, 3, 5, 7})); // v2: the hub
+  txns.push_back(factory.MakeTouch(0, 0, {7}));          // v3: spoke on 7
+  txns.push_back(factory.MakeTouch(0, 0, {3}));          // v4: spoke on 3
+  std::vector<const Transaction*> view;
+  for (const auto& txn : txns) view.push_back(&txn);
+  const ConflictGraph graph(view, ConflictGranularity::kAccount);
+
+  const auto& hub = graph.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(hub.begin(), hub.end()));
+  EXPECT_EQ(hub.size(), 4u);
+  for (std::size_t v = 0; v < graph.size(); ++v) {
+    for (std::size_t u = 0; u < graph.size(); ++u) {
+      const auto& adj = graph.neighbors(v);
+      const bool in_list = std::find(adj.begin(), adj.end(),
+                                     static_cast<std::uint32_t>(u)) !=
+                           adj.end();
+      EXPECT_EQ(graph.HasEdge(v, u), in_list) << v << " -> " << u;
+      EXPECT_EQ(graph.HasEdge(v, u), graph.HasEdge(u, v)) << "symmetry";
+    }
+  }
+  EXPECT_EQ(graph.MaxDegree(), 4u);
+  EXPECT_EQ(graph.edge_count(), 4u);
 }
 
 TEST(ConflictGraph, TxnIdsPreserved) {
