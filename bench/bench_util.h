@@ -23,6 +23,68 @@ inline std::vector<double> PaperRhoGrid() {
 
 inline std::vector<double> PaperBurstGrid() { return {1000, 2000, 3000}; }
 
+/// One cell of the ROADMAP large-s grid (shared by bench/parallel_rounds
+/// --grid and bench/scaling --large): s in {256, 512, 1024} on line (fds),
+/// ring (fds) and uniform (bds) — BDS is specified for the uniform model
+/// only.
+struct LargeGridCell {
+  net::TopologyKind topology;
+  const char* scheduler;
+  ShardId shards;
+};
+
+inline std::vector<LargeGridCell> LargeScaleGrid() {
+  std::vector<LargeGridCell> cells;
+  const std::pair<net::TopologyKind, const char*> topologies[] = {
+      {net::TopologyKind::kLine, "fds"},
+      {net::TopologyKind::kRing, "fds"},
+      {net::TopologyKind::kUniform, "bds"}};
+  for (const auto& [topology, scheduler] : topologies) {
+    for (const ShardId s : {256u, 512u, 1024u}) {
+      cells.push_back({topology, scheduler, s});
+    }
+  }
+  return cells;
+}
+
+/// Hierarchy rule for the benches: the paper's Figure-3 line-shifted
+/// construction for line-like metrics, the generic sparse cover for rings.
+inline core::HierarchyKind HierarchyFor(net::TopologyKind topology) {
+  return topology == net::TopologyKind::kRing
+             ? core::HierarchyKind::kSparseCover
+             : core::HierarchyKind::kLineShifted;
+}
+
+/// Base config for one large-grid cell. Non-uniform cells run the
+/// radius-bounded local workload: with uniform-random destinations over a
+/// 1024-shard line almost every transaction's x-neighborhood spans the
+/// top-layer cluster, whose epochs are thousands of rounds — nothing
+/// commits in a bench-sized run and one mega-leader sees ~99% of traffic.
+/// A local workload exercises the low layers (commits flow) and is also
+/// the regime where the lazy ring's O(live destinations) footprint shows.
+inline core::SimConfig LargeGridConfig(const LargeGridCell& cell, double rho,
+                                       double burst, Round rounds,
+                                       Distance radius) {
+  core::SimConfig config;
+  config.scheduler = cell.scheduler;
+  config.topology = cell.topology;
+  config.hierarchy = HierarchyFor(cell.topology);
+  config.shards = cell.shards;
+  config.accounts = cell.shards;
+  // One account per shard, deterministically: both grid benches must run
+  // the same workload so their tables are comparable.
+  config.account_assignment = core::AccountAssignment::kRoundRobin;
+  config.k = 8;
+  config.rho = rho;
+  config.burstiness = burst;
+  config.rounds = rounds;
+  if (cell.topology != net::TopologyKind::kUniform) {
+    config.strategy = core::StrategyKind::kLocal;
+    config.local_radius = radius;
+  }
+  return config;
+}
+
 /// Result accessor used to fill one panel.
 using Metric = std::function<double(const core::SimResult&)>;
 

@@ -1,25 +1,40 @@
 // Shard-parallel round-loop bench: wall-clock speedup of worker_threads = N
 // over the serial path at large shard counts, with a bit-identical-results
-// assertion (the determinism contract of core/scheduler.h).
+// assertion (the determinism contract of core/scheduler.h), plus the lazy
+// network-ring footprint (idle and steady-state) and the per-shard traffic
+// split that quantifies BDS's single-leader Amdahl bottleneck.
 //
+// Single-config mode (the CI smoke):
 //   build/bench/parallel_rounds [--scheduler=bds|fds|direct] [--shards=256]
-//       [--rho=0.3] [--b=3000] [--rounds=1500] [--workers=8] [--k=8]
+//       [--topology=uniform|line|ring] [--rho=0.3] [--b=3000]
+//       [--rounds=1500] [--workers=8] [--k=8] [--seed=42]
 //
-// Defaults reproduce the acceptance configuration: s = 256, burst b = 3000,
-// workers 1 vs 2 vs 4 vs 8. FDS is the default scheduler because its round
-// work is genuinely distributed — many cluster leaders color concurrently
-// and all 256 destinations serve their schedule queues every round (~270us
-// of work per round at these settings). BDS is available for comparison
-// but its per-epoch coloring runs at a single leader (a property of
-// Algorithm 1 itself), which caps its parallel speedup by Amdahl's law.
-// Speedup depends on available cores; the bit-identical-results check does
-// not.
+// Large-s grid mode (the ROADMAP s = 1024 sweep):
+//   build/bench/parallel_rounds --grid [--rounds=400] [--rho=0.15]
+//       [--b=3000] [--workers=8] [--radius=8] [--json=BENCH_scaling.json]
+//
+// The grid runs s in {256, 512, 1024} on line (fds), ring (fds) and
+// uniform (bds) topologies with burst b = 3000 — the non-uniform cells use
+// the radius-bounded local workload (see the note at the config) — checks
+// worker_threads = 1 vs N bit-identical at every size, and writes a per-s
+// memory/speedup/leader-share table to BENCH_scaling.json. Two readings to
+// expect:
+//   * memory — ring_buckets_at_start is always 0 (the lazy ring allocates
+//     nothing at construction; the former dense table pre-allocated
+//     dense_bucket_equivalent = (Diameter + 2) * s vectors, ~1M / ~25 MB
+//     on the 1024-shard line);
+//   * Amdahl — BDS's per-epoch coloring runs at a single leader (a
+//     property of Algorithm 1), so its speedup plateaus while FDS scales;
+//     leader_in_share is the busiest shard's fraction of all delivered
+//     messages (1/s would be perfectly balanced).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/check.h"
 #include "common/flags.h"
 #include "core/engine.h"
@@ -31,17 +46,35 @@ using namespace stableshard;
 struct TimedRun {
   core::SimResult result;
   double seconds = 0;
+  net::RingMemory memory_at_start;  ///< after construction, before round 0
+  net::RingMemory memory_at_end;
+  double leader_in_share = 0;   ///< max_i messages_in(i) / messages_sent
+  double leader_out_share = 0;  ///< max_i messages_out(i) / messages_sent
 };
 
 TimedRun RunOnce(core::SimConfig config, std::uint32_t workers) {
   config.worker_threads = workers;
   core::Simulation sim(config);
-  const auto start = std::chrono::steady_clock::now();
   TimedRun timed;
+  timed.memory_at_start = sim.scheduler().NetworkMemory();
+  const auto start = std::chrono::steady_clock::now();
   timed.result = sim.Run();
   timed.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  timed.memory_at_end = sim.scheduler().NetworkMemory();
+  std::uint64_t max_in = 0, max_out = 0;
+  for (ShardId shard = 0; shard < config.shards; ++shard) {
+    const net::ShardTraffic traffic = sim.scheduler().ShardTrafficFor(shard);
+    max_in = std::max(max_in, traffic.messages_in);
+    max_out = std::max(max_out, traffic.messages_out);
+  }
+  if (timed.result.messages > 0) {
+    timed.leader_in_share = static_cast<double>(max_in) /
+                            static_cast<double>(timed.result.messages);
+    timed.leader_out_share = static_cast<double>(max_out) /
+                             static_cast<double>(timed.result.messages);
+  }
   return timed;
 }
 
@@ -57,28 +90,169 @@ bool Identical(const core::SimResult& a, const core::SimResult& b) {
          a.p50_latency == b.p50_latency && a.p99_latency == b.p99_latency;
 }
 
-}  // namespace
+void PrintRingMemory(const TimedRun& run) {
+  const net::RingMemory& end = run.memory_at_end;
+  std::printf(
+      "ring memory: %llu buckets at start (dense table held %llu); "
+      "end of run: %llu live dests, %llu buckets, %.2f MB envelope capacity\n",
+      static_cast<unsigned long long>(run.memory_at_start.allocated_buckets),
+      static_cast<unsigned long long>(end.dense_bucket_equivalent),
+      static_cast<unsigned long long>(end.live_destinations),
+      static_cast<unsigned long long>(end.allocated_buckets),
+      static_cast<double>(end.bucket_capacity_bytes) / (1024.0 * 1024.0));
+}
 
-int main(int argc, char** argv) {
-  Flags flags;
-  if (!flags.Parse(argc, argv)) {
-    std::fprintf(stderr, "%s\n", flags.error().c_str());
+struct GridRow {
+  ShardId shards = 0;
+  std::string topology;
+  std::string scheduler;
+  double serial_seconds = 0;
+  double parallel_seconds = 0;
+  double speedup = 0;
+  std::uint32_t workers = 0;
+  bool identical = false;
+  TimedRun parallel;  ///< memory + leader share from the parallel run
+};
+
+int RunGrid(const Flags& flags) {
+  const auto rounds = static_cast<Round>(flags.GetUint("rounds", 400));
+  const double rho = flags.GetDouble("rho", 0.15);
+  const double burst = flags.GetDouble("b", 3000);
+  const auto workers = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, flags.GetUint("workers", 8)));
+  const std::uint64_t seed = flags.GetUint("seed", 42);
+  const auto radius = static_cast<Distance>(flags.GetUint("radius", 8));
+  const std::string json_path =
+      flags.GetString("json", "BENCH_scaling.json");
+  if (!flags.FinishReads()) return 2;
+  // Open the output before burning minutes of grid wall clock on a path
+  // that turns out to be unwritable.
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "--json: cannot open '%s' for writing\n",
+                 json_path.c_str());
     return 2;
   }
 
+  std::printf("parallel_rounds grid: s in {256,512,1024}, b=%.0f, rho=%.2f, "
+              "%llu rounds, workers 1 vs %u\n\n",
+              burst, rho, static_cast<unsigned long long>(rounds), workers);
+  std::printf("%6s %8s %5s | %9s %9s %8s | %10s %12s | %9s %9s %10s\n", "s",
+              "topology", "sched", "serial_s", "par_s", "speedup", "buckets@0",
+              "buckets@end", "ldr_in%", "ldr_out%", "identical");
+
+  std::vector<GridRow> rows;
+  bool all_identical = true;
+  for (const bench::LargeGridCell& cell : bench::LargeScaleGrid()) {
+    core::SimConfig config =
+        bench::LargeGridConfig(cell, rho, burst, rounds, radius);
+    config.seed = seed;
+
+    const TimedRun serial = RunOnce(config, 1);
+    const TimedRun parallel = RunOnce(config, workers);
+    const bool identical = Identical(serial.result, parallel.result);
+    all_identical = all_identical && identical;
+
+    GridRow row;
+    row.shards = cell.shards;
+    row.topology = net::TopologyName(cell.topology);
+    row.scheduler = cell.scheduler;
+    row.serial_seconds = serial.seconds;
+    row.parallel_seconds = parallel.seconds;
+    row.speedup =
+        parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0;
+    row.workers = workers;
+    row.identical = identical;
+    row.parallel = parallel;
+    rows.push_back(row);
+
+    std::printf(
+        "%6u %8s %5s | %9.3f %9.3f %7.2fx | %10llu %12llu | %8.2f%% "
+        "%8.2f%% %10s\n",
+        cell.shards, row.topology.c_str(), cell.scheduler, serial.seconds,
+        parallel.seconds, row.speedup,
+        static_cast<unsigned long long>(
+            parallel.memory_at_start.allocated_buckets),
+        static_cast<unsigned long long>(
+            parallel.memory_at_end.allocated_buckets),
+        100.0 * parallel.leader_in_share, 100.0 * parallel.leader_out_share,
+        identical ? "yes" : "NO");
+  }
+
+  // Per-s memory/speedup table, machine-readable (BENCH_scaling.json).
+  std::fprintf(json,
+               "{\n  \"bench\": \"parallel_rounds_grid\",\n"
+               "  \"burst\": %.0f,\n  \"rho\": %.4f,\n  \"rounds\": %llu,\n"
+               "  \"workers\": %u,\n  \"rows\": [\n",
+               burst, rho, static_cast<unsigned long long>(rounds), workers);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const GridRow& row = rows[i];
+    const net::RingMemory& memory = row.parallel.memory_at_end;
+    std::fprintf(
+        json,
+        "    {\"s\": %u, \"topology\": \"%s\", \"scheduler\": \"%s\",\n"
+        "     \"serial_seconds\": %.6f, \"parallel_seconds\": %.6f,\n"
+        "     \"speedup\": %.4f, \"identical\": %s,\n"
+        "     \"ring_buckets_at_start\": %llu,\n"
+        "     \"ring_live_destinations\": %llu, \"ring_buckets\": %llu,\n"
+        "     \"ring_capacity_bytes\": %llu,\n"
+        "     \"dense_bucket_equivalent\": %llu,\n"
+        "     \"leader_in_share\": %.6f, \"leader_out_share\": %.6f,\n"
+        "     \"committed\": %llu, \"messages\": %llu}%s\n",
+        row.shards, row.topology.c_str(), row.scheduler.c_str(),
+        row.serial_seconds, row.parallel_seconds, row.speedup,
+        row.identical ? "true" : "false",
+        static_cast<unsigned long long>(
+            row.parallel.memory_at_start.allocated_buckets),
+        static_cast<unsigned long long>(memory.live_destinations),
+        static_cast<unsigned long long>(memory.allocated_buckets),
+        static_cast<unsigned long long>(memory.bucket_capacity_bytes),
+        static_cast<unsigned long long>(memory.dense_bucket_equivalent),
+        row.parallel.leader_in_share, row.parallel.leader_out_share,
+        static_cast<unsigned long long>(row.parallel.result.committed),
+        static_cast<unsigned long long>(row.parallel.result.messages),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+
+  SSHARD_CHECK(all_identical &&
+               "worker_threads changed a SimResult — determinism bug");
+  std::printf(
+      "\nall %zu grid cells bit-identical across worker counts; "
+      "table written to %s\n"
+      "Reading: BDS (uniform) speedup plateaus — Algorithm 1 colors each "
+      "epoch at one leader — while FDS distributes coloring across cluster "
+      "leaders; the lazy ring allocates 0 buckets until first contact "
+      "(dense table held (D+2)*s).\n",
+      rows.size(), json_path.c_str());
+  return 0;
+}
+
+int RunSingle(const Flags& flags) {
   core::SimConfig config;
   config.scheduler = flags.GetString("scheduler", "fds");
-  config.shards = static_cast<ShardId>(flags.GetInt("shards", 256));
+  config.shards = static_cast<ShardId>(flags.GetUint("shards", 256));
   config.accounts = config.shards;
-  config.k = static_cast<std::uint32_t>(flags.GetInt("k", 8));
-  config.topology = config.scheduler == "bds" ? net::TopologyKind::kUniform
-                                              : net::TopologyKind::kLine;
+  config.k = static_cast<std::uint32_t>(flags.GetUint("k", 8));
+  const std::string default_topology =
+      config.scheduler == "bds" ? "uniform" : "line";
+  const std::string topology_name =
+      flags.GetString("topology", default_topology);
+  const auto topology = net::TryParseTopology(topology_name);
+  if (!topology) {
+    std::fprintf(stderr, "unknown --topology=%s\n", topology_name.c_str());
+    return 2;
+  }
+  config.topology = *topology;
+  config.hierarchy = bench::HierarchyFor(config.topology);
   config.rho = flags.GetDouble("rho", 0.3);
   config.burstiness = flags.GetDouble("b", 3000);
-  config.rounds = static_cast<Round>(flags.GetInt("rounds", 1500));
-  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
-  const auto max_workers =
-      static_cast<std::uint32_t>(flags.GetInt("workers", 8));
+  config.rounds = static_cast<Round>(flags.GetUint("rounds", 1500));
+  config.seed = flags.GetUint("seed", 42);
+  const auto max_workers = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, flags.GetUint("workers", 8)));
+  if (!flags.FinishReads()) return 2;
 
   std::printf("parallel_rounds: %s\n", config.Describe().c_str());
   std::printf("%8s %12s %10s %10s %12s\n", "workers", "seconds", "speedup",
@@ -103,10 +277,27 @@ int main(int argc, char** argv) {
                 identical ? "yes" : "NO");
   }
 
+  PrintRingMemory(serial);
+  std::printf("busiest shard handles %.2f%% of inbound / %.2f%% of outbound "
+              "messages\n",
+              100.0 * serial.leader_in_share, 100.0 * serial.leader_out_share);
+
   SSHARD_CHECK(all_identical &&
                "worker_threads changed the SimResult — determinism bug");
   std::printf("\nbest speedup %.2fx at s=%u (identical results across all "
               "worker counts)\n",
               best_speedup, config.shards);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 2;
+  }
+  if (flags.GetBool("grid", false)) return RunGrid(flags);
+  return RunSingle(flags);
 }

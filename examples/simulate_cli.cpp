@@ -35,6 +35,7 @@ constexpr const char* kUsage = R"(simulate_cli — StableShard simulation runner
   --rounds     simulated rounds              (default 25000)
   --strategy   uniform_random | hotspot | pairwise_conflict | local |
                single_shard                  (default uniform_random)
+  --radius     destination radius for --strategy=local (default 4)
   --abort-prob probability of unsatisfiable conditions (default 0)
   --coloring   greedy | welsh_powell | dsatur (default greedy)
   --pinned     use the conservative pinned commit mode (fds)
@@ -61,27 +62,35 @@ bool ParseConfig(const Flags& flags, core::SimConfig* config) {
 
   const std::string default_topology =
       config->scheduler == "bds" ? "uniform" : "line";
-  config->topology =
-      net::ParseTopology(flags.GetString("topology", default_topology));
+  const std::string topology_name =
+      flags.GetString("topology", default_topology);
+  const auto topology = net::TryParseTopology(topology_name);
+  if (!topology) {
+    std::fprintf(stderr, "unknown --topology=%s\n", topology_name.c_str());
+    return false;
+  }
+  config->topology = *topology;
   config->hierarchy = flags.GetString("hierarchy", "shifted") == "cover"
                           ? core::HierarchyKind::kSparseCover
                           : core::HierarchyKind::kLineShifted;
-  config->shards = static_cast<ShardId>(flags.GetInt("shards", 64));
+  config->shards = static_cast<ShardId>(flags.GetUint("shards", 64));
   config->accounts =
-      static_cast<AccountId>(flags.GetInt("accounts", config->shards));
-  config->k = static_cast<std::uint32_t>(flags.GetInt("k", 8));
+      static_cast<AccountId>(flags.GetUint("accounts", config->shards));
+  config->k = static_cast<std::uint32_t>(flags.GetUint("k", 8));
   config->rho = flags.GetDouble("rho", 0.1);
   config->burstiness = flags.GetDouble("b", 1000);
   if (flags.GetBool("no-burst", false)) config->burst_round = kNoRound;
-  config->rounds = static_cast<Round>(flags.GetInt("rounds", 25000));
-  config->drain_cap = static_cast<Round>(flags.GetInt("drain", 0));
+  config->rounds = static_cast<Round>(flags.GetUint("rounds", 25000));
+  config->drain_cap = static_cast<Round>(flags.GetUint("drain", 0));
   config->worker_threads = static_cast<std::uint32_t>(
-      std::max<std::int64_t>(1, flags.GetInt("workers", 1)));
-  config->seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+      std::max<std::uint64_t>(1, flags.GetUint("workers", 1)));
+  config->seed = flags.GetUint("seed", 42);
   config->abort_probability = flags.GetDouble("abort-prob", 0.0);
   config->fds_pipelined = !flags.GetBool("pinned", false);
   config->fds_reschedule = !flags.GetBool("no-reschedule", false);
 
+  config->local_radius =
+      static_cast<Distance>(flags.GetUint("radius", config->local_radius));
   const std::string strategy = flags.GetString("strategy", "uniform_random");
   if (strategy == "uniform_random") {
     config->strategy = core::StrategyKind::kUniformRandom;
@@ -131,12 +140,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   const Round series_window =
-      static_cast<Round>(flags.GetInt("series", 0));
+      static_cast<Round>(flags.GetUint("series", 0));
   const std::string csv_path = flags.GetString("csv", "");
-  for (const auto& unread : flags.UnreadFlags()) {
-    std::fprintf(stderr, "warning: unknown flag --%s ignored\n",
-                 unread.c_str());
-  }
+  // e.g. --rounds=abc must never silently run 0 rounds.
+  if (!flags.FinishReads()) return 2;
 
   core::Simulation sim(config);
   if (series_window > 0) sim.EnableSeries(series_window);

@@ -1,5 +1,8 @@
 #include "common/flags.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace stableshard {
@@ -46,26 +49,91 @@ std::string Flags::GetString(const std::string& name,
   return it->second;
 }
 
+void Flags::RecordValueError(const std::string& name,
+                             const std::string& value,
+                             const char* expected) const {
+  if (!error_.empty()) return;  // first error wins
+  error_ = "--" + name + ": expected " + expected + ", got '" + value + "'";
+}
+
 std::int64_t Flags::GetInt(const std::string& name,
                            std::int64_t fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   read_[name] = true;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    RecordValueError(name, text, "an integer");
+    return fallback;
+  }
+  return value;
+}
+
+std::uint64_t Flags::GetUint(const std::string& name,
+                             std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  // strtoull silently wraps negative input ("-1" -> 2^64 - 1), so reject
+  // any '-' up front.
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || text.find('-') != std::string::npos ||
+      end != text.c_str() + text.size() || errno == ERANGE) {
+    RecordValueError(name, text, "a non-negative integer");
+    return fallback;
+  }
+  return value;
 }
 
 double Flags::GetDouble(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   read_[name] = true;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  // ERANGE covers both overflow and underflow; underflow ("1e-320") still
+  // yields a usable (denormal or zero) value, so only overflow is fatal.
+  // Explicit "nan"/"inf" tokens parse cleanly but are never a meaningful
+  // rate/size here — NaN in particular poisons every comparison downstream.
+  const bool overflow =
+      errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL);
+  if (text.empty() || end != text.c_str() + text.size() || overflow ||
+      !std::isfinite(value)) {
+    RecordValueError(name, text, "a finite number");
+    return fallback;
+  }
+  return value;
 }
 
 bool Flags::GetBool(const std::string& name, bool fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   read_[name] = true;
-  return it->second != "false" && it->second != "0" && it->second != "no";
+  const std::string& text = it->second;
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  RecordValueError(name, text, "a boolean (true/false/1/0/yes/no)");
+  return fallback;
+}
+
+bool Flags::FinishReads() const {
+  if (!ok()) {
+    std::fprintf(stderr, "%s\n", error_.c_str());
+    return false;
+  }
+  for (const std::string& unread : UnreadFlags()) {
+    std::fprintf(stderr, "warning: unknown flag --%s ignored\n",
+                 unread.c_str());
+  }
+  return true;
 }
 
 std::vector<std::string> Flags::UnreadFlags() const {

@@ -1,6 +1,15 @@
 // Minimal command-line flag parser for the tools and benches:
 // --name=value / --name value / --bool-flag. No global registry — callers
 // declare flags locally, which keeps tools self-documenting.
+//
+// Error contract: typed getters (GetInt/GetUint/GetDouble/GetBool)
+// validate the *entire* token. A malformed value ("--rounds=abc",
+// "--rho=1.5x", "--opt=maybe"), a negative value for a GetUint flag
+// ("--rounds=-1") or a non-finite double ("--rho=nan") returns the
+// fallback AND records a message in error(), so a misparse can never
+// silently run a zero-round (or 2^64-round) simulation. Tools must check
+// error() after reading their flags (and before acting) and exit
+// non-zero; the first error wins and names the offending flag.
 #pragma once
 
 #include <cstdint>
@@ -19,21 +28,42 @@ class Flags {
   std::string GetString(const std::string& name,
                         const std::string& fallback) const;
   std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+  /// For flags consumed as unsigned quantities (counts, sizes, seeds):
+  /// also rejects negative values, which GetInt would hand to an unsigned
+  /// cast as a huge wrapped number (--rounds=-1 must not run 2^64 rounds).
+  std::uint64_t GetUint(const std::string& name,
+                        std::uint64_t fallback) const;
+  /// Rejects non-finite values ("nan", "inf") along with misparses.
   double GetDouble(const std::string& name, double fallback) const;
   bool GetBool(const std::string& name, bool fallback) const;
 
   /// Positional (non --flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
+
+  /// First parse or value error ("" when everything read so far was valid).
+  /// Typed getters record errors lazily — check after reading all flags.
   const std::string& error() const { return error_; }
+  bool ok() const { return error_.empty(); }
 
   /// Flags that were provided but never read — typo detection for tools.
   std::vector<std::string> UnreadFlags() const;
 
+  /// Canonical post-read epilogue for tools (the error() contract above):
+  /// prints error() to stderr and returns false when any typed read
+  /// failed; otherwise warns on stderr about provided-but-never-read flags
+  /// (typo detection) and returns true. Call after reading every flag and
+  /// before acting; on false, exit non-zero.
+  bool FinishReads() const;
+
  private:
+  void RecordValueError(const std::string& name, const std::string& value,
+                        const char* expected) const;
+
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> read_;
   std::vector<std::string> positional_;
-  std::string error_;
+  /// Mutable: typed getters are const lookups but must record misparses.
+  mutable std::string error_;
 };
 
 }  // namespace stableshard

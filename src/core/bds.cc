@@ -17,7 +17,8 @@ BdsScheduler::BdsScheduler(const net::ShardMetric& metric,
       outbox_(metric.shard_count()),
       pending_(metric.shard_count()),
       home_(metric.shard_count()),
-      dest_pending_(metric.shard_count()) {
+      dest_pending_(metric.shard_count()),
+      inbox_(metric.shard_count()) {
   // BDS is specified for the uniform model: Phase offsets assume
   // unit-distance delivery everywhere.
   for (ShardId a = 0; a < metric.shard_count(); ++a) {
@@ -87,7 +88,8 @@ void BdsScheduler::BeginRound(Round round) {
 }
 
 void BdsScheduler::StepShard(ShardId shard, Round round) {
-  for (auto& envelope : network_.DeliverTo(shard, round)) {
+  network_.DeliverTo(shard, round, inbox_[shard]);
+  for (auto& envelope : inbox_[shard]) {
     HandleMessage(shard, envelope.from, envelope.payload, round);
   }
   switch (phase_) {

@@ -83,6 +83,12 @@ class BdsScheduler final : public Scheduler {
   std::uint64_t PayloadUnits() const override {
     return network_.stats().payload_units;
   }
+  net::RingMemory NetworkMemory() const override {
+    return network_.ring_memory();
+  }
+  net::ShardTraffic ShardTrafficFor(ShardId shard) const override {
+    return network_.shard_traffic(shard);
+  }
   const char* name() const override { return "bds"; }
 
   /// Introspection for tests / benches.
@@ -149,6 +155,11 @@ class BdsScheduler final : public Scheduler {
 
   // Destination-shard side: subtransactions received and awaiting confirm.
   std::vector<std::unordered_map<TxnId, txn::SubTransaction>> dest_pending_;
+
+  /// Per-shard delivery buffers: DeliverTo swaps the due ring slot with the
+  /// shard's buffer, recycling envelope capacity across rounds (shard-owned,
+  /// so concurrent StepShard calls never share one).
+  std::vector<std::vector<net::Network<Message>::Envelope>> inbox_;
 };
 
 }  // namespace stableshard::core

@@ -14,7 +14,8 @@ DirectScheduler::DirectScheduler(const net::ShardMetric& metric,
       outbox_(metric.shard_count()),
       protocol_(metric.shard_count(), outbox_, ledger,
                 /*on_decided=*/nullptr),
-      inject_by_home_(metric.shard_count()) {}
+      inject_by_home_(metric.shard_count()),
+      inbox_(metric.shard_count()) {}
 
 void DirectScheduler::Inject(const txn::Transaction& txn) {
   SSHARD_CHECK(txn.home() < inject_by_home_.size());
@@ -25,7 +26,8 @@ void DirectScheduler::Inject(const txn::Transaction& txn) {
 void DirectScheduler::BeginRound(Round round) { (void)round; }
 
 void DirectScheduler::StepShard(ShardId shard, Round round) {
-  for (auto& envelope : network_.DeliverTo(shard, round)) {
+  network_.DeliverTo(shard, round, inbox_[shard]);
+  for (auto& envelope : inbox_[shard]) {
     const bool handled =
         protocol_.HandleMessage(shard, envelope.payload, round);
     SSHARD_CHECK(handled && "unexpected message type in Direct");

@@ -49,6 +49,12 @@ class DirectScheduler final : public Scheduler {
   std::uint64_t PayloadUnits() const override {
     return network_.stats().payload_units;
   }
+  net::RingMemory NetworkMemory() const override {
+    return network_.ring_memory();
+  }
+  net::ShardTraffic ShardTrafficFor(ShardId shard) const override {
+    return network_.shard_traffic(shard);
+  }
   const char* name() const override { return "direct"; }
 
  private:
@@ -57,6 +63,10 @@ class DirectScheduler final : public Scheduler {
   net::OutboxSet<Message> outbox_;
   CommitProtocol protocol_;
   std::vector<std::vector<txn::Transaction>> inject_by_home_;
+  /// Per-shard delivery buffers: DeliverTo swaps the due ring slot with the
+  /// shard's buffer, recycling envelope capacity across rounds (shard-owned,
+  /// so concurrent StepShard calls never share one).
+  std::vector<std::vector<net::Network<Message>::Envelope>> inbox_;
   std::uint64_t injected_waiting_ = 0;
 };
 

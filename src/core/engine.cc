@@ -117,13 +117,11 @@ SimResult Simulation::Run() {
   stats::RunningStats leader_queue_per_round;
   std::uint64_t max_pending = 0;
 
-  for (Round round = 0; round < config_.rounds; ++round) {
-    for (txn::Transaction& txn : adversary_->GenerateRound(round)) {
-      ledger_->RegisterInjection(txn);
-      scheduler_->Inject(txn);
-    }
-    StepRound(round);
-
+  // Sampled after every executed round — drain rounds included, since
+  // rounds_executed counts them: reported maxima/averages must cover the
+  // whole run, not just the injection phase (a burst resolved during drain
+  // used to vanish from max_pending).
+  const auto sample_round_metrics = [&](Round round) {
     const std::uint64_t pending = ledger_->pending();
     max_pending = std::max(max_pending, pending);
     pending_per_round.Add(static_cast<double>(pending) /
@@ -132,9 +130,16 @@ SimResult Simulation::Run() {
     if (pending_series_) {
       pending_series_->Record(round, static_cast<double>(pending));
     }
-  }
+  };
 
-  if (pending_series_) pending_series_->Finish();
+  for (Round round = 0; round < config_.rounds; ++round) {
+    for (txn::Transaction& txn : adversary_->GenerateRound(round)) {
+      ledger_->RegisterInjection(txn);
+      scheduler_->Inject(txn);
+    }
+    StepRound(round);
+    sample_round_metrics(round);
+  }
 
   Round round = config_.rounds;
   bool drained = false;
@@ -146,10 +151,13 @@ SimResult Simulation::Run() {
         break;
       }
       StepRound(round);
+      sample_round_metrics(round);
       ++round;
     }
     if (!drained) drained = scheduler_->Idle();
   }
+
+  if (pending_series_) pending_series_->Finish();
 
   SimResult result;
   result.avg_pending_per_shard = pending_per_round.mean();

@@ -9,7 +9,10 @@
 //      every shard — fanned out across the persistent worker pool when
 //      SimConfig::worker_threads > 1, serial otherwise, with bit-identical
 //      results either way — then EndRound (serial);
-//   4. metrics are sampled (pending transactions, leader queues).
+//   4. metrics are sampled (pending transactions, leader queues). Sampling
+//      covers every executed round, drain-phase rounds included — the
+//      per-round averages, max_pending and the pending series describe the
+//      same rounds_executed window the result reports.
 //
 // The engine knows no concrete scheduler: SimConfig::scheduler names an
 // entry in core::SchedulerRegistry and construction goes through the

@@ -1,7 +1,13 @@
 // Experiment sweep runner: executes a batch of independent simulation
-// configurations on a thread pool and collects results in input order.
-// Each simulation is single-threaded and deterministic in (config, seed),
-// so parallelism across configurations cannot change any result.
+// configurations and collects results in input order. Each simulation is
+// deterministic in (config, seed) — and worker_threads-invariant — so the
+// execution strategy cannot change any result.
+//
+// Single-level parallelism policy: when every config is serial
+// (worker_threads == 1) the sweep fans configs across one thread pool;
+// when any config asks for an inner pool (worker_threads > 1) the sweep
+// runs configs sequentially so pools never nest (no oversubscription at
+// large s — the s = 1024 grids run one 8-worker simulation at a time).
 #pragma once
 
 #include <vector>

@@ -27,7 +27,8 @@ FdsScheduler::FdsScheduler(const net::ShardMetric& metric,
       home_outgoing_(metric.shard_count()),
       buffered_by_home_(metric.shard_count(), 0),
       coloring_work_(metric.shard_count()),
-      reschedules_by_shard_(metric.shard_count(), 0) {
+      reschedules_by_shard_(metric.shard_count(), 0),
+      inbox_(metric.shard_count()) {
   // Derive the aligned base epoch length E_0 (see header).
   Round e0 = 4;
   for (std::uint32_t layer = 0; layer < hierarchy.layer_count(); ++layer) {
@@ -98,7 +99,8 @@ void FdsScheduler::BeginRound(Round round) {
 void FdsScheduler::StepShard(ShardId shard, Round round) {
   // Deliver: protocol messages are handled inline; Phase-1 batches land in
   // the leader's incoming set.
-  for (auto& envelope : network_.DeliverTo(shard, round)) {
+  network_.DeliverTo(shard, round, inbox_[shard]);
+  for (auto& envelope : inbox_[shard]) {
     if (protocol_.HandleMessage(shard, envelope.payload, round)) {
       continue;
     }

@@ -96,6 +96,12 @@ class FdsScheduler final : public Scheduler {
   std::uint64_t PayloadUnits() const override {
     return network_.stats().payload_units;
   }
+  net::RingMemory NetworkMemory() const override {
+    return network_.ring_memory();
+  }
+  net::ShardTraffic ShardTrafficFor(ShardId shard) const override {
+    return network_.shard_traffic(shard);
+  }
   const char* name() const override { return "fds"; }
 
   /// Introspection.
@@ -145,6 +151,11 @@ class FdsScheduler final : public Scheduler {
   // Per-leader-shard counters (summed by the serial getters).
   std::vector<std::uint64_t> reschedules_by_shard_;
   std::uint64_t used_cluster_count_ = 0;
+
+  /// Per-shard delivery buffers: DeliverTo swaps the due ring slot with the
+  /// shard's buffer, recycling envelope capacity across rounds (shard-owned,
+  /// so concurrent StepShard calls never share one).
+  std::vector<std::vector<net::Network<Message>::Envelope>> inbox_;
 };
 
 }  // namespace stableshard::core

@@ -31,6 +31,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "net/network.h"
 #include "txn/transaction.h"
 
 namespace stableshard::core {
@@ -78,6 +79,18 @@ class Scheduler {
 
   virtual std::uint64_t MessagesSent() const = 0;
   virtual std::uint64_t PayloadUnits() const = 0;
+
+  /// Footprint of the scheduler's lazy network ring (serial phases only).
+  /// Benches use it to report the O(live destinations) memory claim;
+  /// schedulers without a network report an empty footprint.
+  virtual net::RingMemory NetworkMemory() const { return {}; }
+
+  /// Per-shard traffic split of the scheduler's network (leader-bottleneck
+  /// forensics). Zeroes when the scheduler keeps no per-shard stats.
+  virtual net::ShardTraffic ShardTrafficFor(ShardId shard) const {
+    (void)shard;
+    return {};
+  }
 
   virtual const char* name() const = 0;
 };

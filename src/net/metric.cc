@@ -8,6 +8,15 @@
 namespace stableshard::net {
 
 Distance ShardMetric::Diameter() const {
+  const Distance cached = diameter_cache_.load(std::memory_order_relaxed);
+  if (cached != kDiameterUnknown) return cached;
+  const Distance diameter = ComputeDiameter();
+  SSHARD_DCHECK(diameter != kDiameterUnknown);
+  diameter_cache_.store(diameter, std::memory_order_relaxed);
+  return diameter;
+}
+
+Distance ShardMetric::ComputeDiameter() const {
   const ShardId s = shard_count();
   Distance diameter = 0;
   for (ShardId i = 0; i < s; ++i) {

@@ -7,6 +7,7 @@
 // places 64 shards on a line with distance |i - j|.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -27,6 +28,10 @@ class ShardMetric {
   virtual Distance distance(ShardId a, ShardId b) const = 0;
 
   /// Maximum distance between any two shards (the clique diameter D).
+  /// Memoized per instance: both net::Network and cluster::Hierarchy query
+  /// it on construction, and the generic evaluation is O(s^2) — at s = 1024
+  /// that was ~1M distance calls per simulation, multiplied across sweep
+  /// configs, before the cache.
   Distance Diameter() const;
 
   /// All shards within distance `radius` of `center` (includes `center`).
@@ -36,6 +41,19 @@ class ShardMetric {
   /// this metric (our clusters are metric balls, so induced-subgraph
   /// distances coincide with clique distances for the topologies we use).
   Distance SubsetDiameter(const std::vector<ShardId>& shards) const;
+
+ protected:
+  /// One-time diameter evaluation behind the Diameter() cache. The default
+  /// is the generic O(s^2) max over pairs; closed-form topologies override
+  /// it with O(1) formulas.
+  virtual Distance ComputeDiameter() const;
+
+ private:
+  /// Diameter() cache; kDiameterUnknown until first computed. Relaxed
+  /// atomics keep concurrent first calls benign (same value both times).
+  static constexpr Distance kDiameterUnknown =
+      std::numeric_limits<Distance>::max();
+  mutable std::atomic<Distance> diameter_cache_{kDiameterUnknown};
 };
 
 /// Uniform model: every pair of distinct shards at distance 1.
@@ -44,6 +62,9 @@ class UniformMetric final : public ShardMetric {
   explicit UniformMetric(ShardId shards);
   ShardId shard_count() const override { return shards_; }
   Distance distance(ShardId a, ShardId b) const override;
+
+ protected:
+  Distance ComputeDiameter() const override { return shards_ == 1 ? 0 : 1; }
 
  private:
   ShardId shards_;
@@ -57,6 +78,9 @@ class LineMetric final : public ShardMetric {
   ShardId shard_count() const override { return shards_; }
   Distance distance(ShardId a, ShardId b) const override;
 
+ protected:
+  Distance ComputeDiameter() const override { return shards_ - 1; }
+
  private:
   ShardId shards_;
 };
@@ -67,6 +91,9 @@ class RingMetric final : public ShardMetric {
   explicit RingMetric(ShardId shards);
   ShardId shard_count() const override { return shards_; }
   Distance distance(ShardId a, ShardId b) const override;
+
+ protected:
+  Distance ComputeDiameter() const override { return shards_ / 2; }
 
  private:
   ShardId shards_;
@@ -80,6 +107,11 @@ class GridMetric final : public ShardMetric {
   Distance distance(ShardId a, ShardId b) const override;
   ShardId width() const { return width_; }
   ShardId height() const { return height_; }
+
+ protected:
+  Distance ComputeDiameter() const override {
+    return (width_ - 1) + (height_ - 1);
+  }
 
  private:
   ShardId width_;

@@ -10,22 +10,34 @@
 // by all non-faulty nodes of the receiving shard within the round budget.
 // Here we account for traffic (messages, payload units) and delay only.
 //
-// Storage is a ring buffer of round buckets partitioned by destination
-// shard: slot (deliver % slot_count, dest). Because every delivery offset
-// is in [1, Diameter], slot_count = Diameter + 2 guarantees no two live
-// rounds share a slot, so Send is O(1) amortized and delivery is O(due)
-// with no tree rebalancing (the previous implementation kept a global
-// std::map<Round, vector> calendar). The bucket table is dense —
-// O(Diameter * s) empty vectors — which is small for the uniform model but
-// grows to O(s^2) on line/ring topologies (s = 1024 line: ~1M buckets,
-// ~25 MB); a lazily grown per-destination ring is the planned mitigation
-// for the s >= 1024 sweeps (see ROADMAP).
+// Storage is a *lazily grown per-destination ring*: each destination shard
+// owns a ring of round slots, allocated on first contact and grown
+// geometrically to cover the largest delivery offset that destination has
+// actually seen (capped at Diameter + 2, which always suffices because
+// every offset is in [1, Diameter]). At any instant the live deliveries
+// for one destination span at most max-seen-offset consecutive rounds, so
+// a ring of max-seen-offset + 2 slots never maps two live rounds to one
+// slot; growth re-buckets the O(in-flight) envelopes and happens at most
+// log(Diameter) times per destination. Send stays O(1) amortized and
+// delivery O(due). The footprint is O(sum over live destinations of their
+// offset horizon) instead of the former dense O(Diameter * s) table: a
+// 1024-shard line (~1M buckets, ~25 MB, allocated up front regardless of
+// traffic) now allocates nothing at construction and ~16 slots per
+// destination under radius-8 local traffic — see ring_memory(), reported
+// by bench/parallel_rounds.
+//
+// Bucket vectors are *recycled by swap*, never moved-and-dropped: the
+// out-parameter DeliverTo swaps the due slot with the caller's reusable
+// buffer, so envelope capacity ping-pongs between the ring and the caller
+// across rounds instead of being reallocated every delivery. Schedulers
+// keep one inbox buffer per shard for exactly this purpose.
 //
 // Concurrency contract (the shard-parallel round loop relies on it):
 //   * Send may only be called from serial phases (BeginRound/EndRound or
-//     fully single-threaded drivers);
+//     fully single-threaded drivers) — it grows rings lazily, so it is
+//     never safe concurrently with anything;
 //   * DeliverTo(shard, round) may run concurrently for *distinct* shards:
-//     it touches only that destination's bucket and per-shard counters
+//     it touches only that destination's ring and per-shard counters
 //     (delivered_total_ is a relaxed atomic used for stats only);
 //   * every (shard, round) pair must be drained in round order — the
 //     synchronous simulation steps every shard every round, which is what
@@ -62,6 +74,15 @@ struct ShardTraffic {
   std::uint64_t payload_out = 0;
 };
 
+/// Footprint of the lazy per-destination ring (see ring_memory()).
+struct RingMemory {
+  std::uint64_t live_destinations = 0;  ///< rings allocated (ever contacted)
+  std::uint64_t allocated_buckets = 0;  ///< slot vectors across live rings
+  std::uint64_t bucket_capacity_bytes = 0;  ///< envelope storage reserved
+  /// Buckets the former dense table would hold: (Diameter + 2) * s.
+  std::uint64_t dense_bucket_equivalent = 0;
+};
+
 template <typename Payload>
 class Network {
  public:
@@ -78,7 +99,7 @@ class Network {
       : metric_(&metric),
         shard_count_(metric.shard_count()),
         slot_count_(static_cast<std::size_t>(metric.Diameter()) + 2),
-        buckets_(slot_count_ * shard_count_),
+        rings_(shard_count_),
         pending_by_dest_(shard_count_),
         shard_traffic_(shard_count_) {}
 
@@ -92,7 +113,14 @@ class Network {
     SSHARD_DCHECK(to < shard_count_);
     const Distance d = from == to ? 1 : metric_->distance(from, to);
     const Round deliver = now + d;
-    buckets_[BucketIndex(deliver, to)].push_back(
+    std::vector<std::vector<Envelope>>& ring = rings_[to];
+    // d + 2 slots keep live rounds collision-free for offsets up to d;
+    // slot_count_ (= Diameter + 2) is the proven global cap (the clamp
+    // also covers the degenerate s = 1 self-send ring of 2 slots).
+    const std::size_t needed =
+        std::min<std::size_t>(static_cast<std::size_t>(d) + 2, slot_count_);
+    if (ring.size() < needed) GrowRing(ring, needed);
+    ring[deliver % ring.size()].push_back(
         Envelope{from, to, now, deliver, seq_++, std::move(payload)});
     ++stats_.messages_sent;
     stats_.payload_units += payload_units;
@@ -108,20 +136,33 @@ class Network {
     if (in_flight > stats_.max_in_flight) stats_.max_in_flight = in_flight;
   }
 
-  /// Remove and return every message addressed to `shard` due at round
-  /// `now`, in send order. Safe to call concurrently for distinct shards.
-  std::vector<Envelope> DeliverTo(ShardId shard, Round now) {
+  /// Move every message addressed to `shard` due at round `now` into `out`
+  /// (cleared first), in send order. The due ring slot is *swapped* with
+  /// `out`, so a reused buffer donates its capacity back to the ring —
+  /// steady state does zero envelope allocation. Safe to call concurrently
+  /// for distinct shards.
+  void DeliverTo(ShardId shard, Round now, std::vector<Envelope>& out) {
     SSHARD_DCHECK(shard < shard_count_);
-    std::vector<Envelope>& bucket = buckets_[BucketIndex(now, shard)];
-    std::vector<Envelope> due = std::move(bucket);
-    bucket.clear();
-    for ([[maybe_unused]] const Envelope& envelope : due) {
+    out.clear();
+    std::vector<std::vector<Envelope>>& ring = rings_[shard];
+    if (ring.empty()) return;  // never contacted: nothing can be due
+    std::vector<Envelope>& bucket = ring[now % ring.size()];
+    std::swap(bucket, out);
+    for ([[maybe_unused]] const Envelope& envelope : out) {
       // A stale envelope here means some (shard, round) was never drained
       // and the ring slot got reused — a round-loop bug, not a data bug.
       SSHARD_DCHECK(envelope.deliver == now && envelope.to == shard);
     }
-    pending_by_dest_[shard] -= due.size();
-    delivered_total_.fetch_add(due.size(), std::memory_order_relaxed);
+    pending_by_dest_[shard] -= out.size();
+    delivered_total_.fetch_add(out.size(), std::memory_order_relaxed);
+  }
+
+  /// Remove and return every message addressed to `shard` due at round
+  /// `now`, in send order (convenience overload; the returned vector's
+  /// capacity is not recycled — hot paths should pass a reusable buffer).
+  std::vector<Envelope> DeliverTo(ShardId shard, Round now) {
+    std::vector<Envelope> due;
+    DeliverTo(shard, now, due);
     return due;
   }
 
@@ -154,17 +195,52 @@ class Network {
     return shard_traffic_[shard];
   }
   const ShardMetric& metric() const { return *metric_; }
+  std::size_t slot_count() const { return slot_count_; }
+
+  /// Measured ring footprint (serial phases only: walks every live ring).
+  RingMemory ring_memory() const {
+    RingMemory memory;
+    memory.dense_bucket_equivalent =
+        static_cast<std::uint64_t>(slot_count_) * shard_count_;
+    for (const std::vector<std::vector<Envelope>>& ring : rings_) {
+      if (ring.empty()) continue;
+      ++memory.live_destinations;
+      memory.allocated_buckets += ring.size();
+      for (const std::vector<Envelope>& bucket : ring) {
+        memory.bucket_capacity_bytes += bucket.capacity() * sizeof(Envelope);
+      }
+    }
+    return memory;
+  }
 
  private:
-  std::size_t BucketIndex(Round deliver, ShardId dest) const {
-    return static_cast<std::size_t>(deliver % slot_count_) * shard_count_ +
-           dest;
+  /// Grow `ring` to a power-of-two size >= needed (capped at slot_count_)
+  /// and re-bucket its in-flight envelopes under the new modulus. Each old
+  /// slot holds at most one live delivery round (the drain contract) and
+  /// live rounds span less than the old size, so every new slot receives
+  /// from exactly one old slot — per-slot send order is preserved.
+  void GrowRing(std::vector<std::vector<Envelope>>& ring,
+                std::size_t needed) {
+    std::size_t size = std::max<std::size_t>(ring.size() * 2, 4);
+    while (size < needed) size *= 2;
+    size = std::min(size, slot_count_);
+    SSHARD_DCHECK(size >= needed);
+    std::vector<std::vector<Envelope>> grown(size);
+    for (std::vector<Envelope>& bucket : ring) {
+      for (Envelope& envelope : bucket) {
+        grown[envelope.deliver % size].push_back(std::move(envelope));
+      }
+    }
+    ring.swap(grown);
   }
 
   const ShardMetric* metric_;
   ShardId shard_count_;
   std::size_t slot_count_;
-  std::vector<std::vector<Envelope>> buckets_;  // [round % slots][dest]
+  /// rings_[dest] is empty until the first Send to `dest`, then holds
+  /// between 2 and slot_count_ buckets indexed by deliver % rings_[dest]
+  /// .size() (grown on demand by GrowRing).
+  std::vector<std::vector<std::vector<Envelope>>> rings_;
   std::vector<std::uint64_t> pending_by_dest_;
   std::vector<ShardTraffic> shard_traffic_;
   std::uint64_t seq_ = 0;

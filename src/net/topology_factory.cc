@@ -5,14 +5,19 @@
 
 namespace stableshard::net {
 
-TopologyKind ParseTopology(const std::string& name) {
+std::optional<TopologyKind> TryParseTopology(const std::string& name) {
   if (name == "uniform") return TopologyKind::kUniform;
   if (name == "line") return TopologyKind::kLine;
   if (name == "ring") return TopologyKind::kRing;
   if (name == "grid") return TopologyKind::kGrid;
   if (name == "random_geo") return TopologyKind::kRandomGeometric;
-  SSHARD_CHECK(false && "unknown topology name");
-  return TopologyKind::kUniform;
+  return std::nullopt;
+}
+
+TopologyKind ParseTopology(const std::string& name) {
+  const std::optional<TopologyKind> kind = TryParseTopology(name);
+  SSHARD_CHECK(kind.has_value() && "unknown topology name");
+  return *kind;
 }
 
 std::string TopologyName(TopologyKind kind) {

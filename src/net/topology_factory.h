@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/rng.h"
@@ -18,7 +19,12 @@ enum class TopologyKind {
   kRandomGeometric,
 };
 
-/// Parse a topology name; aborts on unknown names (configuration error).
+/// Parse a topology name; nullopt on unknown names (CLIs report the bad
+/// value and exit instead of aborting).
+std::optional<TopologyKind> TryParseTopology(const std::string& name);
+
+/// Parse a topology name; aborts on unknown names (for trusted callers
+/// whose input is programmatic, not user-typed).
 TopologyKind ParseTopology(const std::string& name);
 
 /// Human-readable name for a topology kind.

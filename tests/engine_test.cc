@@ -56,6 +56,36 @@ TEST(Engine, SweepMatchesSerialRuns) {
   }
 }
 
+TEST(Engine, SweepWithInnerParallelConfigsMatchesSerialRuns) {
+  // Single-level parallelism policy: configs with worker_threads > 1 make
+  // RunSweep run them sequentially (no nested pools), and results must
+  // still equal fully serial runs of the same configs.
+  std::vector<core::SimConfig> configs;
+  for (std::uint64_t seed : {11ull, 12ull}) {
+    SimConfig config = SmallConfig("fds");
+    config.rounds = 300;
+    config.drain_cap = 20000;
+    config.worker_threads = 4;
+    config.seed = seed;
+    configs.push_back(config);
+  }
+  const auto sweep = RunSweep(configs, /*threads=*/4);
+  ASSERT_EQ(sweep.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    SimConfig serial_config = configs[i];
+    serial_config.worker_threads = 1;
+    Simulation serial(serial_config);
+    const auto expected = serial.Run();
+    EXPECT_EQ(sweep[i].result.injected, expected.injected) << "config " << i;
+    EXPECT_EQ(sweep[i].result.committed, expected.committed) << "config " << i;
+    EXPECT_EQ(sweep[i].result.messages, expected.messages) << "config " << i;
+    EXPECT_EQ(sweep[i].result.max_pending, expected.max_pending);
+    EXPECT_DOUBLE_EQ(sweep[i].result.avg_latency, expected.avg_latency);
+    EXPECT_DOUBLE_EQ(sweep[i].result.avg_pending_per_shard,
+                     expected.avg_pending_per_shard);
+  }
+}
+
 TEST(Engine, SeriesRecording) {
   SimConfig config = SmallConfig("bds");
   config.rounds = 500;
@@ -65,6 +95,24 @@ TEST(Engine, SeriesRecording) {
   sim.Run();
   ASSERT_NE(sim.pending_series(), nullptr);
   EXPECT_EQ(sim.pending_series()->points().size(), 500u / 50);
+}
+
+TEST(Engine, DrainRoundsAreRecorded) {
+  // The pending series (and the per-round aggregates) must cover drain
+  // rounds: rounds_executed counts them, so with window = 1 the series has
+  // exactly one point per executed round.
+  SimConfig config = SmallConfig("bds");
+  config.rounds = 200;
+  config.drain_cap = 60000;
+  Simulation sim(config);
+  sim.EnableSeries(/*window=*/1);
+  const auto result = sim.Run();
+  EXPECT_TRUE(result.drained);
+  EXPECT_GT(result.rounds_executed, config.rounds) << "no drain rounds ran";
+  ASSERT_NE(sim.pending_series(), nullptr);
+  EXPECT_EQ(sim.pending_series()->points().size(), result.rounds_executed);
+  // Fully drained: the final recorded sample is zero pending.
+  EXPECT_DOUBLE_EQ(sim.pending_series()->points().back().value, 0.0);
 }
 
 TEST(Engine, MessageAccountingNonTrivial) {

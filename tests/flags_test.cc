@@ -64,5 +64,87 @@ TEST(Flags, BareDashesRejected) {
   EXPECT_FALSE(flags.error().empty());
 }
 
+TEST(Flags, NonNumericIntIsAnError) {
+  const auto flags = ParseAll({"--rounds=abc"});
+  EXPECT_TRUE(flags.ok());  // errors are recorded lazily, at read time
+  EXPECT_EQ(flags.GetInt("rounds", 7), 7);  // fallback, never garbage
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("rounds"), std::string::npos);
+  EXPECT_NE(flags.error().find("abc"), std::string::npos);
+}
+
+TEST(Flags, TrailingGarbageIntIsAnError) {
+  const auto flags = ParseAll({"--shards=12x", "--seed="});
+  EXPECT_EQ(flags.GetInt("shards", 3), 3);
+  EXPECT_FALSE(flags.ok());
+  // Empty values are misparses too (e.g. a stray "--seed=").
+  EXPECT_EQ(flags.GetInt("seed", 5), 5);
+}
+
+TEST(Flags, IntOverflowIsAnError) {
+  const auto flags = ParseAll({"--n=99999999999999999999999999"});
+  EXPECT_EQ(flags.GetInt("n", 1), 1);
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(Flags, ValidNegativeAndSignedIntsParse) {
+  const auto flags = ParseAll({"--a=-5", "--b=+17"});
+  EXPECT_EQ(flags.GetInt("a", 0), -5);
+  EXPECT_EQ(flags.GetInt("b", 0), 17);
+  EXPECT_TRUE(flags.ok());
+}
+
+TEST(Flags, NonNumericDoubleIsAnError) {
+  const auto flags = ParseAll({"--rho=fast", "--b=1.5.2"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rho", 0.25), 0.25);
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("rho"), std::string::npos);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("b", 2.0), 2.0);
+  // First error wins: the message still names rho.
+  EXPECT_NE(flags.error().find("rho"), std::string::npos);
+}
+
+TEST(Flags, ScientificNotationDoubleParses) {
+  const auto flags = ParseAll({"--rho=1e-2"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rho", 0), 0.01);
+  EXPECT_TRUE(flags.ok());
+}
+
+TEST(Flags, UintRejectsNegativeValues) {
+  // strtoull would silently wrap "-1" to 2^64 - 1: --rounds=-1 must be a
+  // hard error, not an effectively-infinite simulation.
+  const auto flags = ParseAll({"--rounds=-1", "--shards=42"});
+  EXPECT_EQ(flags.GetUint("shards", 0), 42u);
+  EXPECT_TRUE(flags.ok());
+  EXPECT_EQ(flags.GetUint("rounds", 7), 7u);
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("non-negative"), std::string::npos);
+}
+
+TEST(Flags, DoubleRejectsNanAndInf) {
+  const auto flags = ParseAll({"--rho=nan"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rho", 0.1), 0.1);
+  EXPECT_FALSE(flags.ok());
+  const auto flags2 = ParseAll({"--b=inf"});
+  EXPECT_DOUBLE_EQ(flags2.GetDouble("b", 500.0), 500.0);
+  EXPECT_FALSE(flags2.ok());
+}
+
+TEST(Flags, DoubleUnderflowIsNotAnErrorButOverflowIs) {
+  const auto flags = ParseAll({"--tiny=1e-320", "--huge=1e999"});
+  // Underflow yields a usable denormal (glibc sets ERANGE anyway).
+  EXPECT_GT(flags.GetDouble("tiny", -1.0), 0.0);
+  EXPECT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("huge", 2.5), 2.5);
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(Flags, MalformedBoolIsAnError) {
+  const auto flags = ParseAll({"--opt=maybe"});
+  EXPECT_TRUE(flags.GetBool("opt", true));  // fallback
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("boolean"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace stableshard

@@ -2,6 +2,8 @@
 // diameters, the delayed message network, and the topology factory.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 
 #include "common/rng.h"
@@ -77,6 +79,54 @@ TEST(MatrixMetricDeath, RejectsAsymmetry) {
 TEST(MatrixMetricDeath, RejectsTriangleViolation) {
   std::vector<Distance> matrix{0, 1, 5, 1, 0, 1, 5, 1, 0};
   EXPECT_DEATH(MatrixMetric(3, matrix), "SSHARD_CHECK");
+}
+
+/// Line-shaped metric that counts distance() evaluations; keeps the generic
+/// O(s^2) ComputeDiameter so the memoization itself is what's under test.
+class CountingLineMetric final : public ShardMetric {
+ public:
+  explicit CountingLineMetric(ShardId shards) : shards_(shards) {}
+  ShardId shard_count() const override { return shards_; }
+  Distance distance(ShardId a, ShardId b) const override {
+    ++distance_calls;
+    return a > b ? a - b : b - a;
+  }
+  mutable std::uint64_t distance_calls = 0;
+
+ private:
+  ShardId shards_;
+};
+
+TEST(ShardMetric, DiameterMemoizedPerInstance) {
+  CountingLineMetric metric(64);
+  EXPECT_EQ(metric.Diameter(), 63u);
+  const std::uint64_t first_cost = metric.distance_calls;
+  EXPECT_GT(first_cost, 0u);
+  // Re-querying (as every Network and Hierarchy construction does) must hit
+  // the cache: zero additional distance evaluations.
+  EXPECT_EQ(metric.Diameter(), 63u);
+  EXPECT_EQ(metric.Diameter(), 63u);
+  EXPECT_EQ(metric.distance_calls, first_cost);
+}
+
+TEST(ShardMetric, ClosedFormDiametersMatchBruteForce) {
+  const auto brute_force = [](const ShardMetric& metric) {
+    Distance diameter = 0;
+    for (ShardId i = 0; i < metric.shard_count(); ++i) {
+      for (ShardId j = i + 1; j < metric.shard_count(); ++j) {
+        diameter = std::max(diameter, metric.distance(i, j));
+      }
+    }
+    return diameter;
+  };
+  for (const ShardId s : {1u, 2u, 7u, 10u, 33u}) {
+    EXPECT_EQ(UniformMetric(s).Diameter(), brute_force(UniformMetric(s)));
+    EXPECT_EQ(LineMetric(s).Diameter(), brute_force(LineMetric(s)));
+    EXPECT_EQ(RingMetric(s).Diameter(), brute_force(RingMetric(s)));
+  }
+  EXPECT_EQ(GridMetric(1, 1).Diameter(), brute_force(GridMetric(1, 1)));
+  EXPECT_EQ(GridMetric(4, 4).Diameter(), brute_force(GridMetric(4, 4)));
+  EXPECT_EQ(GridMetric(5, 3).Diameter(), brute_force(GridMetric(5, 3)));
 }
 
 TEST(RandomGeometricMetric, SatisfiesAxioms) {
@@ -214,6 +264,103 @@ TEST(Network, RingBucketsReusedAcrossManyRounds) {
   EXPECT_EQ(delivered, 99u + 93u);
   EXPECT_EQ(network.pending_count(), 2 * 100u - delivered);
 }
+
+TEST(Network, LazyRingAllocatesOnlyContactedDestinations) {
+  // A 1024-shard line used to pre-allocate (Diameter + 2) * s ~ 1M buckets;
+  // the lazy ring allocates per destination on first Send.
+  LineMetric metric(1024);
+  Network<int> network(metric);
+  const RingMemory idle = network.ring_memory();
+  EXPECT_EQ(idle.live_destinations, 0u);
+  EXPECT_EQ(idle.allocated_buckets, 0u);
+  EXPECT_EQ(idle.bucket_capacity_bytes, 0u);
+  EXPECT_EQ(idle.dense_bucket_equivalent, (1023u + 2u) * 1024u);
+
+  // Delivering to an uncontacted destination allocates nothing.
+  EXPECT_TRUE(network.DeliverTo(512, 3).empty());
+  EXPECT_EQ(network.ring_memory().live_destinations, 0u);
+
+  network.Send(0, 7, /*now=*/0, 1);
+  network.Send(1, 7, /*now=*/0, 2);  // same destination: same ring
+  network.Send(0, 900, /*now=*/0, 3);
+  const RingMemory live = network.ring_memory();
+  EXPECT_EQ(live.live_destinations, 2u);
+  // Rings are sized by the largest delivery offset each destination has
+  // seen (next power of two of offset + 2, capped at Diameter + 2), not by
+  // the global diameter: dest 7 saw offset 7 -> 16 slots, dest 900 saw
+  // offset 900 -> 1024 slots.
+  EXPECT_EQ(live.allocated_buckets, 16u + 1024u);
+  EXPECT_GT(live.bucket_capacity_bytes, 0u);
+}
+
+TEST(Network, RingGrowthRebucketsInFlightMessages) {
+  // Short-offset traffic first (small ring), then a long-offset send forces
+  // geometric growth while messages are in flight; everything must still
+  // deliver at the right round, in send order.
+  LineMetric metric(64);
+  Network<int> network(metric);
+  network.Send(1, 0, /*now=*/0, 10);   // offset 1, due round 1
+  network.Send(2, 0, /*now=*/0, 11);   // offset 2, due round 2
+  network.Send(40, 0, /*now=*/0, 12);  // offset 40: grows the ring to 64
+  network.Send(3, 0, /*now=*/0, 13);   // offset 3, after the growth
+
+  auto at1 = network.DeliverTo(0, 1);
+  ASSERT_EQ(at1.size(), 1u);
+  EXPECT_EQ(at1[0].payload, 10);
+  auto at2 = network.DeliverTo(0, 2);
+  ASSERT_EQ(at2.size(), 1u);
+  EXPECT_EQ(at2[0].payload, 11);
+  auto at3 = network.DeliverTo(0, 3);
+  ASSERT_EQ(at3.size(), 1u);
+  EXPECT_EQ(at3[0].payload, 13);
+  for (Round round = 4; round < 40; ++round) {
+    EXPECT_TRUE(network.DeliverTo(0, round).empty());
+  }
+  auto at40 = network.DeliverTo(0, 40);
+  ASSERT_EQ(at40.size(), 1u);
+  EXPECT_EQ(at40[0].payload, 12);
+  EXPECT_FALSE(network.HasPending());
+}
+
+TEST(Network, DeliverToOutParamRecyclesCapacityAcrossRounds) {
+  UniformMetric metric(4);
+  Network<int> network(metric);
+  std::vector<Network<int>::Envelope> inbox;
+
+  // Warm-up round-trip seeds the slot<->buffer capacity ping-pong.
+  for (int i = 0; i < 64; ++i) network.Send(0, 1, 0, i);
+  network.DeliverTo(1, 1, inbox);
+  ASSERT_EQ(inbox.size(), 64u);
+  const std::size_t warm_capacity = inbox.capacity();
+
+  for (Round round = 1; round < 20; ++round) {
+    for (int i = 0; i < 64; ++i) network.Send(0, 1, round, i);
+    network.DeliverTo(1, round + 1, inbox);
+    ASSERT_EQ(inbox.size(), 64u);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(inbox[i].payload, i);
+  }
+  // The swap recycling keeps capacity cycling between the ring slot and the
+  // caller's buffer: envelope storage stays reserved inside the ring after
+  // a delivery (move-and-drop would leave the slot at capacity zero), and
+  // the inbox never shrinks below its warmed size.
+  EXPECT_GE(network.ring_memory().bucket_capacity_bytes,
+            64u * sizeof(Network<int>::Envelope));
+  EXPECT_GE(inbox.capacity(), warm_capacity);
+}
+
+#ifndef NDEBUG
+TEST(NetworkDeath, StaleSlotDetectedWhenRoundSkipped) {
+  // Violating the drain contract — skipping a due (shard, round) until the
+  // ring wraps — must trip the per-envelope DCHECK instead of silently
+  // delivering a stale message. UniformMetric(2) has 3 slots, so round 4
+  // reuses round 1's slot.
+  UniformMetric metric(2);
+  Network<int> network(metric);
+  network.Send(0, 1, /*now=*/0, 7);  // due at round 1, never drained
+  network.Send(0, 1, /*now=*/3, 8);  // lands in the same slot (4 % 3 == 1)
+  EXPECT_DEATH(network.DeliverTo(1, 4), "SSHARD_CHECK");
+}
+#endif
 
 TEST(Network, PerShardTrafficAccounting) {
   UniformMetric metric(3);

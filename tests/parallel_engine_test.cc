@@ -98,6 +98,40 @@ TEST(ParallelEngine, PinnedModeIdenticalUnderThreads) {
   ExpectIdenticalResults(serial, parallel);
 }
 
+TEST(ParallelEngine, LargeScaleLineDeterministicAt1024Shards) {
+  // The ROADMAP s = 1024 acceptance: a 1024-shard line simulation must be
+  // bit-identical between worker_threads = 1 and 8, and the lazy network
+  // ring must have allocated nothing at construction (the former dense
+  // table held (Diameter + 2) * s ~ 1M buckets here). Kept cheap for TSan:
+  // few rounds, a radius-bounded workload that drains quickly.
+  SimConfig config;
+  config.scheduler = "direct";
+  config.topology = net::TopologyKind::kLine;
+  config.shards = 1024;
+  config.accounts = 1024;
+  config.k = 4;
+  config.strategy = core::StrategyKind::kLocal;
+  config.local_radius = 8;
+  config.rho = 0.05;
+  config.burstiness = 200;
+  config.rounds = 40;
+  config.drain_cap = 20000;
+  config.seed = 5;
+
+  {
+    Simulation probe(config);
+    const net::RingMemory idle = probe.scheduler().NetworkMemory();
+    EXPECT_EQ(idle.allocated_buckets, 0u);
+    EXPECT_EQ(idle.dense_bucket_equivalent, (1023u + 2u) * 1024u);
+  }
+
+  const SimResult serial = RunWith(config, 1);
+  const SimResult parallel = RunWith(config, 8);
+  EXPECT_GT(serial.injected, 0u);
+  EXPECT_TRUE(serial.drained);
+  ExpectIdenticalResults(serial, parallel);
+}
+
 TEST(ParallelEngine, OversubscribedPoolStillIdentical) {
   // More workers than shards (and than cores): scheduling order varies
   // wildly, results must not.
