@@ -79,7 +79,7 @@ inline core::SimConfig LargeGridConfig(const LargeGridCell& cell, double rho,
   config.burstiness = burst;
   config.rounds = rounds;
   if (cell.topology != net::TopologyKind::kUniform) {
-    config.strategy = core::StrategyKind::kLocal;
+    config.strategy = "local";
     config.local_radius = radius;
   }
   return config;

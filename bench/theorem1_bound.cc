@@ -35,7 +35,7 @@ int main() {
       config.accounts = kShards;
       config.account_assignment = core::AccountAssignment::kRoundRobin;
       config.k = kK;
-      config.strategy = core::StrategyKind::kPairwiseConflict;
+      config.strategy = "pairwise_conflict";
       config.rho = rho;
       config.burstiness = 4;
       config.burst_round = kNoRound;

@@ -21,7 +21,7 @@ stableshard::core::SimResult RunAttack(double rho, double burst,
   config.shards = 32;
   config.accounts = 32;
   config.k = 4;
-  config.strategy = core::StrategyKind::kHotspot;  // flood one account
+  config.strategy = "hotspot";  // flood one account
   config.rho = rho;
   config.burstiness = burst;
   config.burst_round = 500;  // the attack lands mid-run

@@ -27,10 +27,10 @@ stableshard::core::SimResult RunCase(const char* scheduler,
   config.burstiness = 500;
   config.rounds = 15000;
   if (local_workload) {
-    config.strategy = core::StrategyKind::kLocal;
+    config.strategy = "local";
     config.local_radius = 3;  // transactions stay within 3 hops of home
   } else {
-    config.strategy = core::StrategyKind::kUniformRandom;  // span the line
+    config.strategy = "uniform_random";  // span the line
   }
   core::Simulation sim(config);
   return sim.Run();

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "adversary/strategy_registry.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "core/engine.h"
@@ -33,9 +34,12 @@ constexpr const char* kUsage = R"(simulate_cli — StableShard simulation runner
   --b          burstiness (one-time burst of b transactions, default 1000)
   --no-burst   disable the burst
   --rounds     simulated rounds              (default 25000)
-  --strategy   uniform_random | hotspot | pairwise_conflict | local |
-               single_shard                  (default uniform_random)
+  --strategy   any registered workload (uniform_random | hotspot |
+               pairwise_conflict | local | single_shard | hot_destination |
+               diameter_span in-tree; default uniform_random — unknown
+               names print the registry)
   --radius     destination radius for --strategy=local (default 4)
+  --zipf       skew exponent for --strategy=hot_destination (default 1.0)
   --abort-prob probability of unsatisfiable conditions (default 0)
   --coloring   greedy | welsh_powell | dsatur (default greedy)
   --pinned     use the conservative pinned commit mode (fds)
@@ -48,15 +52,25 @@ constexpr const char* kUsage = R"(simulate_cli — StableShard simulation runner
   --csv        append one result row to this CSV file
 )";
 
+/// Shared "unknown name" epilogue for registry-backed flags: false plus
+/// the sorted listing on stderr (the cli_unknown_*_exits_2 ctest checks
+/// grep this exact format).
+template <typename Registry>
+bool ValidateRegistryName(const Registry& registry, const char* flag,
+                          const std::string& name) {
+  if (registry.Contains(name)) return true;
+  std::fprintf(stderr, "unknown --%s=%s; registered:", flag, name.c_str());
+  for (const std::string& known : registry.Names()) {
+    std::fprintf(stderr, " %s", known.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return false;
+}
+
 bool ParseConfig(const Flags& flags, core::SimConfig* config) {
   config->scheduler = flags.GetString("scheduler", "bds");
-  if (!core::SchedulerRegistry::Global().Contains(config->scheduler)) {
-    std::fprintf(stderr, "unknown --scheduler=%s; registered:",
-                 config->scheduler.c_str());
-    for (const std::string& name : core::SchedulerRegistry::Global().Names()) {
-      std::fprintf(stderr, " %s", name.c_str());
-    }
-    std::fprintf(stderr, "\n");
+  if (!ValidateRegistryName(core::SchedulerRegistry::Global(), "scheduler",
+                            config->scheduler)) {
     return false;
   }
 
@@ -91,19 +105,14 @@ bool ParseConfig(const Flags& flags, core::SimConfig* config) {
 
   config->local_radius =
       static_cast<Distance>(flags.GetUint("radius", config->local_radius));
-  const std::string strategy = flags.GetString("strategy", "uniform_random");
-  if (strategy == "uniform_random") {
-    config->strategy = core::StrategyKind::kUniformRandom;
-  } else if (strategy == "hotspot") {
-    config->strategy = core::StrategyKind::kHotspot;
-  } else if (strategy == "pairwise_conflict") {
-    config->strategy = core::StrategyKind::kPairwiseConflict;
-  } else if (strategy == "local") {
-    config->strategy = core::StrategyKind::kLocal;
-  } else if (strategy == "single_shard") {
-    config->strategy = core::StrategyKind::kSingleShard;
-  } else {
-    std::fprintf(stderr, "unknown --strategy=%s\n", strategy.c_str());
+  config->zipf_theta = flags.GetDouble("zipf", config->zipf_theta);
+  if (config->zipf_theta < 0.0) {
+    std::fprintf(stderr, "--zipf must be >= 0 (got %g)\n", config->zipf_theta);
+    return false;
+  }
+  config->strategy = flags.GetString("strategy", "uniform_random");
+  if (!ValidateRegistryName(adversary::StrategyRegistry::Global(), "strategy",
+                            config->strategy)) {
     return false;
   }
 

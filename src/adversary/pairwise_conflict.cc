@@ -1,0 +1,61 @@
+// Theorem 1's lower-bound construction: k+1 transactions T_1..T_{k+1}
+// where each pair (i, j) shares a dedicated shard; the group is mutually
+// conflicting yet adds only congestion 2 per used shard.
+#include "adversary/strategy.h"
+#include "adversary/strategy_internal.h"
+#include "adversary/strategy_registry.h"
+#include "common/check.h"
+#include "core/config.h"
+
+namespace stableshard::adversary {
+
+PairwiseConflictStrategy::PairwiseConflictStrategy(
+    const chain::AccountMap& map, std::uint32_t k)
+    : map_(&map), k_(k) {
+  SSHARD_CHECK(k >= 1);
+  const std::uint64_t needed = static_cast<std::uint64_t>(k) * (k + 1) / 2;
+  SSHARD_CHECK(needed <= map.shard_count() &&
+               "Theorem 1 Case 1 needs s >= k(k+1)/2");
+  // Enumerate the pairs {i, j}, i < j <= k, assigning shard p to the p-th
+  // pair; transaction i uses the shards of every pair containing i.
+  member_shards_.assign(k_ + 1, {});
+  ShardId next_shard = 0;
+  for (std::uint32_t i = 0; i <= k_; ++i) {
+    for (std::uint32_t j = i + 1; j <= k_; ++j) {
+      member_shards_[i].push_back(next_shard);
+      member_shards_[j].push_back(next_shard);
+      ++next_shard;
+    }
+  }
+  for (const auto& shards : member_shards_) {
+    SSHARD_CHECK(shards.size() == k_);
+  }
+}
+
+bool PairwiseConflictStrategy::Next(Round round, Rng& rng, Candidate* out) {
+  (void)round;
+  (void)rng;
+  const std::uint32_t member = cursor_;
+  cursor_ = (cursor_ + 1) % (k_ + 1);
+  out->home = member_shards_[member].front();
+  out->accesses.clear();
+  for (const ShardId shard : member_shards_[member]) {
+    // Write the shard's first account so every pair of group members
+    // conflicts on their dedicated shard's account.
+    const auto& accounts = map_->AccountsOf(shard);
+    SSHARD_CHECK(!accounts.empty());
+    out->accesses.push_back(internal::TouchSpec(accounts.front()));
+  }
+  return true;
+}
+
+namespace {
+const StrategyRegistrar kPairwiseConflictRegistrar{
+    "pairwise_conflict",
+    [](const core::SimConfig& config, StrategyDeps& deps) {
+      return std::unique_ptr<Strategy>(
+          std::make_unique<PairwiseConflictStrategy>(deps.accounts, config.k));
+    }};
+}  // namespace
+
+}  // namespace stableshard::adversary

@@ -1,0 +1,31 @@
+// Single-shard transactions (k = 1): the fully parallel regime where the
+// sqrt(s) bound dominates.
+#include "adversary/strategy.h"
+#include "adversary/strategy_internal.h"
+#include "adversary/strategy_registry.h"
+#include "core/config.h"
+
+namespace stableshard::adversary {
+
+SingleShardStrategy::SingleShardStrategy(const chain::AccountMap& map)
+    : map_(&map) {}
+
+bool SingleShardStrategy::Next(Round round, Rng& rng, Candidate* out) {
+  (void)round;
+  const auto account = rng.NextBounded(map_->account_count());
+  out->home = map_->OwnerOf(account);
+  out->accesses.clear();
+  out->accesses.push_back(internal::TouchSpec(account));
+  return true;
+}
+
+namespace {
+const StrategyRegistrar kSingleShardRegistrar{
+    "single_shard", [](const core::SimConfig& config, StrategyDeps& deps) {
+      (void)config;
+      return std::unique_ptr<Strategy>(
+          std::make_unique<SingleShardStrategy>(deps.accounts));
+    }};
+}  // namespace
+
+}  // namespace stableshard::adversary

@@ -1,45 +1,8 @@
 #include "adversary/strategy.h"
 
 #include <algorithm>
-#include <limits>
-
-#include "common/check.h"
 
 namespace stableshard::adversary {
-
-namespace {
-
-// Unsatisfiable condition marker: no balance reaches this threshold in any
-// workload we generate.
-constexpr chain::Balance kImpossibleThreshold =
-    std::numeric_limits<chain::Balance>::max() / 2;
-
-txn::AccessSpec TouchSpec(AccountId account) {
-  txn::AccessSpec spec;
-  spec.account = account;
-  spec.write = true;
-  spec.action = {account, chain::ActionKind::kDeposit, 0};
-  return spec;
-}
-
-void MaybePoison(std::vector<txn::AccessSpec>& accesses, double probability,
-                 Rng& rng) {
-  if (probability <= 0.0 || accesses.empty()) return;
-  if (!rng.NextBool(probability)) return;
-  txn::AccessSpec& spec = accesses.front();
-  spec.has_condition = true;
-  spec.condition = {spec.account, chain::CmpOp::kGe, kImpossibleThreshold};
-}
-
-std::uint32_t PickSpan(const RandomStrategyOptions& options, Rng& rng) {
-  if (options.exact_k || options.max_shards_per_txn <= 1) {
-    return options.max_shards_per_txn;
-  }
-  return static_cast<std::uint32_t>(
-      1 + rng.NextBounded(options.max_shards_per_txn));
-}
-
-}  // namespace
 
 std::vector<ShardId> Candidate::TouchedShards(
     const chain::AccountMap& map) const {
@@ -51,139 +14,6 @@ std::vector<ShardId> Candidate::TouchedShards(
   std::sort(shards.begin(), shards.end());
   shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
   return shards;
-}
-
-UniformRandomStrategy::UniformRandomStrategy(const chain::AccountMap& map,
-                                             RandomStrategyOptions options)
-    : map_(&map), options_(options) {
-  SSHARD_CHECK(options.max_shards_per_txn >= 1);
-  SSHARD_CHECK(options.max_shards_per_txn <= map.account_count());
-}
-
-bool UniformRandomStrategy::Next(Round round, Rng& rng, Candidate* out) {
-  (void)round;
-  const std::uint32_t span = PickSpan(options_, rng);
-  const auto picks = rng.SampleWithoutReplacement(map_->account_count(), span);
-  out->home = static_cast<ShardId>(rng.NextBounded(map_->shard_count()));
-  out->accesses.clear();
-  for (const auto account : picks) {
-    out->accesses.push_back(TouchSpec(account));
-  }
-  MaybePoison(out->accesses, options_.abort_probability, rng);
-  return true;
-}
-
-HotspotStrategy::HotspotStrategy(const chain::AccountMap& map,
-                                 AccountId hotspot,
-                                 RandomStrategyOptions options)
-    : map_(&map), hotspot_(hotspot), options_(options) {
-  SSHARD_CHECK(hotspot < map.account_count());
-}
-
-bool HotspotStrategy::Next(Round round, Rng& rng, Candidate* out) {
-  (void)round;
-  const std::uint32_t span = PickSpan(options_, rng);
-  out->home = static_cast<ShardId>(rng.NextBounded(map_->shard_count()));
-  out->accesses.clear();
-  out->accesses.push_back(TouchSpec(hotspot_));
-  if (span > 1) {
-    // span-1 extra accounts distinct from the hotspot.
-    const auto picks =
-        rng.SampleWithoutReplacement(map_->account_count() - 1, span - 1);
-    for (const auto raw : picks) {
-      const AccountId account = raw >= hotspot_ ? raw + 1 : raw;
-      out->accesses.push_back(TouchSpec(account));
-    }
-  }
-  MaybePoison(out->accesses, options_.abort_probability, rng);
-  return true;
-}
-
-PairwiseConflictStrategy::PairwiseConflictStrategy(
-    const chain::AccountMap& map, std::uint32_t k)
-    : map_(&map), k_(k) {
-  SSHARD_CHECK(k >= 1);
-  const std::uint64_t needed = static_cast<std::uint64_t>(k) * (k + 1) / 2;
-  SSHARD_CHECK(needed <= map.shard_count() &&
-               "Theorem 1 Case 1 needs s >= k(k+1)/2");
-  // Enumerate the pairs {i, j}, i < j <= k, assigning shard p to the p-th
-  // pair; transaction i uses the shards of every pair containing i.
-  member_shards_.assign(k_ + 1, {});
-  ShardId next_shard = 0;
-  for (std::uint32_t i = 0; i <= k_; ++i) {
-    for (std::uint32_t j = i + 1; j <= k_; ++j) {
-      member_shards_[i].push_back(next_shard);
-      member_shards_[j].push_back(next_shard);
-      ++next_shard;
-    }
-  }
-  for (const auto& shards : member_shards_) {
-    SSHARD_CHECK(shards.size() == k_);
-  }
-}
-
-bool PairwiseConflictStrategy::Next(Round round, Rng& rng, Candidate* out) {
-  (void)round;
-  (void)rng;
-  const std::uint32_t member = cursor_;
-  cursor_ = (cursor_ + 1) % (k_ + 1);
-  out->home = member_shards_[member].front();
-  out->accesses.clear();
-  for (const ShardId shard : member_shards_[member]) {
-    // Write the shard's first account so every pair of group members
-    // conflicts on their dedicated shard's account.
-    const auto& accounts = map_->AccountsOf(shard);
-    SSHARD_CHECK(!accounts.empty());
-    out->accesses.push_back(TouchSpec(accounts.front()));
-  }
-  return true;
-}
-
-LocalStrategy::LocalStrategy(const chain::AccountMap& map,
-                             const net::ShardMetric& metric, Distance radius,
-                             RandomStrategyOptions options)
-    : map_(&map), metric_(&metric), radius_(radius), options_(options) {
-  SSHARD_CHECK(map.shard_count() == metric.shard_count());
-  reachable_.resize(map.shard_count());
-  for (ShardId home = 0; home < map.shard_count(); ++home) {
-    for (const ShardId shard : metric.Neighborhood(home, radius)) {
-      const auto& accounts = map.AccountsOf(shard);
-      reachable_[home].insert(reachable_[home].end(), accounts.begin(),
-                              accounts.end());
-    }
-    if (reachable_[home].empty()) {
-      // Degenerate map: fall back to any account so the strategy stays
-      // productive (the candidate still has a valid home).
-      reachable_[home].push_back(0);
-    }
-  }
-}
-
-bool LocalStrategy::Next(Round round, Rng& rng, Candidate* out) {
-  (void)round;
-  out->home = static_cast<ShardId>(rng.NextBounded(map_->shard_count()));
-  const auto& pool = reachable_[out->home];
-  const std::uint32_t span = std::min<std::uint32_t>(
-      PickSpan(options_, rng), static_cast<std::uint32_t>(pool.size()));
-  const auto picks = rng.SampleWithoutReplacement(pool.size(), span);
-  out->accesses.clear();
-  for (const auto index : picks) {
-    out->accesses.push_back(TouchSpec(pool[index]));
-  }
-  MaybePoison(out->accesses, options_.abort_probability, rng);
-  return true;
-}
-
-SingleShardStrategy::SingleShardStrategy(const chain::AccountMap& map)
-    : map_(&map) {}
-
-bool SingleShardStrategy::Next(Round round, Rng& rng, Candidate* out) {
-  (void)round;
-  const auto account = rng.NextBounded(map_->account_count());
-  out->home = map_->OwnerOf(account);
-  out->accesses.clear();
-  out->accesses.push_back(TouchSpec(account));
-  return true;
 }
 
 }  // namespace stableshard::adversary

@@ -5,6 +5,12 @@
 // strategies. A Strategy proposes candidate transactions (home shard +
 // account accesses); the Adversary (adversary.h) admits candidates subject
 // to the token buckets and paces aggregate congestion at the target rate.
+//
+// Strategies are constructed through the self-registering StrategyRegistry
+// (strategy_registry.h): each concrete class lives in its own translation
+// unit (uniform_random.cc, hotspot.cc, pairwise_conflict.cc, local.cc,
+// single_shard.cc, hot_destination.cc, diameter_span.cc) with a registrar
+// at the bottom, so the engine builds workloads purely by name.
 #pragma once
 
 #include <cstdint>
@@ -133,6 +139,65 @@ class SingleShardStrategy final : public Strategy {
 
  private:
   const chain::AccountMap* map_;
+};
+
+/// Zipfian hot-destination workload: accessed accounts (and the home shard)
+/// are drawn from a Zipf(theta) distribution over the account-owning
+/// shards, so net::ShardTraffic concentrates on the hottest shard without
+/// the total serialization of the single-account hotspot clique. This is
+/// the trigger scenario for leader-queue backpressure (ROADMAP): a
+/// scheduler watching per-shard traffic shares sees one destination running
+/// hot while the rest of the system stays parallel.
+class HotDestinationStrategy final : public Strategy {
+ public:
+  /// `theta` >= 0 is the Zipf exponent (0 = uniform, ~1 = classic Zipf,
+  /// larger = hotter). Rank 1 (the hottest destination) is the lowest-id
+  /// shard that owns at least one account.
+  HotDestinationStrategy(const chain::AccountMap& map, double theta,
+                         RandomStrategyOptions options);
+  bool Next(Round round, Rng& rng, Candidate* out) override;
+  const char* name() const override { return "hot_destination"; }
+
+  /// The rank-1 destination.
+  ShardId hot_shard() const { return populated_.front(); }
+
+ private:
+  ShardId PickShard(Rng& rng) const;
+
+  const chain::AccountMap* map_;
+  RandomStrategyOptions options_;
+  std::vector<ShardId> populated_;   ///< shards owning >= 1 account
+  std::vector<double> cumulative_;   ///< Zipf prefix sums over populated_
+};
+
+/// Diameter-spanning transactions: every candidate touches accounts on both
+/// endpoints of a farthest (account-owning) shard pair, so its x-span
+/// covers the topology diameter. Under FDS this is the degenerate regime
+/// measured in the large-s sweeps — every transaction lands in the
+/// top-layer cluster, whose single leader sees ~99% of messages and whose
+/// epochs span thousands of rounds — now reproducible as a first-class
+/// workload instead of a bench-only configuration.
+class DiameterSpanStrategy final : public Strategy {
+ public:
+  DiameterSpanStrategy(const chain::AccountMap& map,
+                       const net::ShardMetric& metric,
+                       RandomStrategyOptions options);
+  bool Next(Round round, Rng& rng, Candidate* out) override;
+  const char* name() const override { return "diameter_span"; }
+
+  ShardId endpoint_a() const { return endpoint_a_; }
+  ShardId endpoint_b() const { return endpoint_b_; }
+  /// Distance between the endpoints (== Diameter() whenever some diametral
+  /// pair has accounts on both ends; the farthest populated pair otherwise).
+  Distance span() const;
+
+ private:
+  const chain::AccountMap* map_;
+  const net::ShardMetric* metric_;
+  RandomStrategyOptions options_;
+  ShardId endpoint_a_ = 0;
+  ShardId endpoint_b_ = 0;
+  bool flip_ = false;  ///< alternate the home between the endpoints
 };
 
 }  // namespace stableshard::adversary

@@ -1,0 +1,14 @@
+#include "adversary/strategy_registry.h"
+
+#include "core/config.h"
+
+namespace stableshard::adversary {
+
+StrategyRegistry& StrategyRegistry::Global() {
+  // Function-local static: constructed on first use, so registrars in other
+  // translation units never observe an uninitialized registry.
+  static StrategyRegistry* registry = new StrategyRegistry();
+  return *registry;
+}
+
+}  // namespace stableshard::adversary

@@ -1,0 +1,82 @@
+// Generic self-registration machinery shared by core::SchedulerRegistry and
+// adversary::StrategyRegistry: name -> builder over a validated config plus
+// a bundle of engine-owned runtime services. One implementation keeps the
+// two registries exact mirrors by construction instead of by discipline.
+//
+// Registration happens at static-init time from per-product translation
+// units; the process-wide instance lives behind a function-local static in
+// each concrete registry's Global() (never here), so registrars in other
+// translation units cannot observe an uninitialized registry. The library
+// is linked as a CMake OBJECT library so registrar objects are never
+// dead-stripped.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace stableshard::common {
+
+template <typename Product, typename Config, typename Deps>
+class Registry {
+ public:
+  using Builder =
+      std::function<std::unique_ptr<Product>(const Config&, Deps&)>;
+
+  /// `kind` names the product in error messages ("scheduler", "strategy").
+  explicit Registry(const char* kind) : kind_(kind) {}
+
+  /// Register `builder` under `name`; aborts on duplicates.
+  void Register(const std::string& name, Builder builder) {
+    const auto [it, inserted] = builders_.emplace(name, std::move(builder));
+    (void)it;
+    SSHARD_CHECK(inserted && "registry name registered twice");
+  }
+
+  bool Contains(const std::string& name) const {
+    return builders_.find(name) != builders_.end();
+  }
+
+  /// Build the product registered under `name`; aborts with the sorted
+  /// list of known names if `name` is unknown.
+  std::unique_ptr<Product> Build(const std::string& name,
+                                 const Config& config, Deps& deps) const {
+    const auto it = builders_.find(name);
+    if (it == builders_.end()) {
+      std::fprintf(stderr, "unknown %s \"%s\"; registered:", kind_,
+                   name.c_str());
+      for (const auto& [known, builder] : builders_) {
+        (void)builder;
+        std::fprintf(stderr, " %s", known.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      SSHARD_CHECK(false && "unknown registry name");
+    }
+    std::unique_ptr<Product> product = it->second(config, deps);
+    SSHARD_CHECK(product != nullptr && "registry builder returned null");
+    return product;
+  }
+
+  /// Registered names, sorted (CLI help, error messages).
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(builders_.size());
+    for (const auto& [name, builder] : builders_) {
+      (void)builder;
+      names.push_back(name);
+    }
+    return names;
+  }
+
+ private:
+  const char* kind_;
+  std::map<std::string, Builder> builders_;
+};
+
+}  // namespace stableshard::common

@@ -4,28 +4,12 @@
 
 namespace stableshard::core {
 
-const char* ToString(StrategyKind kind) {
-  switch (kind) {
-    case StrategyKind::kUniformRandom:
-      return "uniform_random";
-    case StrategyKind::kHotspot:
-      return "hotspot";
-    case StrategyKind::kPairwiseConflict:
-      return "pairwise_conflict";
-    case StrategyKind::kLocal:
-      return "local";
-    case StrategyKind::kSingleShard:
-      return "single_shard";
-  }
-  return "?";
-}
-
 std::string SimConfig::Describe() const {
   std::ostringstream os;
   os << scheduler << " s=" << shards << " k=" << k
      << " topo=" << net::TopologyName(topology) << " rho=" << rho
-     << " b=" << burstiness << " strat=" << ToString(strategy)
-     << " rounds=" << rounds << " seed=" << seed;
+     << " b=" << burstiness << " strat=" << strategy << " rounds=" << rounds
+     << " seed=" << seed;
   if (worker_threads > 1) os << " wt=" << worker_threads;
   return os.str();
 }

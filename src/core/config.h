@@ -15,17 +15,8 @@
 
 namespace stableshard::core {
 
-enum class StrategyKind : std::uint8_t {
-  kUniformRandom,
-  kHotspot,
-  kPairwiseConflict,
-  kLocal,
-  kSingleShard,
-};
 enum class HierarchyKind : std::uint8_t { kLineShifted, kSparseCover };
 enum class AccountAssignment : std::uint8_t { kRoundRobin, kRandom };
-
-const char* ToString(StrategyKind kind);
 
 struct SimConfig {
   // System (paper Section 7 defaults).
@@ -40,9 +31,14 @@ struct SimConfig {
   double rho = 0.10;
   double burstiness = 1000;
   Round burst_round = 0;        ///< kNoRound disables the burst
-  StrategyKind strategy = StrategyKind::kUniformRandom;
+  /// Workload: a name registered in adversary::StrategyRegistry
+  /// ("uniform_random", "hotspot", "pairwise_conflict", "local",
+  /// "single_shard", "hot_destination", "diameter_span" in-tree; embedders
+  /// may register more — the engine never names strategies itself).
+  std::string strategy = "uniform_random";
   double abort_probability = 0.0;
-  Distance local_radius = 4;    ///< kLocal strategy only
+  Distance local_radius = 4;    ///< "local" strategy only
+  double zipf_theta = 1.0;      ///< "hot_destination" skew exponent
 
   // Scheduler: a name registered in core::SchedulerRegistry ("bds", "fds",
   // "direct" in-tree; embedders may register more — the engine never names

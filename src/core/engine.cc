@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "adversary/strategy.h"
+#include "adversary/strategy_registry.h"
 #include "common/check.h"
 #include "core/scheduler_registry.h"
 
@@ -38,8 +38,11 @@ Simulation::Simulation(const SimConfig& config)
   adversary_config.burstiness = config.burstiness;
   adversary_config.burst_round = config.burst_round;
   adversary_config.seed = Mix64(config.seed ^ 0xada5a77e5eedULL);
+  adversary::StrategyDeps strategy_deps{*accounts_, *metric_, rng_};
   adversary_ = std::make_unique<adversary::Adversary>(
-      adversary_config, *accounts_, MakeStrategy());
+      adversary_config, *accounts_,
+      adversary::StrategyRegistry::Global().Build(config.strategy, config_,
+                                                  strategy_deps));
 
   SchedulerDeps deps{*metric_, *ledger_,
                      [this]() -> const cluster::Hierarchy& {
@@ -63,31 +66,6 @@ const cluster::Hierarchy& Simulation::EnsureHierarchy() {
             : cluster::Hierarchy::BuildSparseCover(*metric_));
   }
   return *hierarchy_;
-}
-
-std::unique_ptr<adversary::Strategy> Simulation::MakeStrategy() {
-  adversary::RandomStrategyOptions options;
-  options.max_shards_per_txn = config_.k;
-  options.abort_probability = config_.abort_probability;
-  switch (config_.strategy) {
-    case StrategyKind::kUniformRandom:
-      return std::make_unique<adversary::UniformRandomStrategy>(*accounts_,
-                                                                options);
-    case StrategyKind::kHotspot:
-      return std::make_unique<adversary::HotspotStrategy>(*accounts_,
-                                                          /*hotspot=*/0,
-                                                          options);
-    case StrategyKind::kPairwiseConflict:
-      return std::make_unique<adversary::PairwiseConflictStrategy>(*accounts_,
-                                                                   config_.k);
-    case StrategyKind::kLocal:
-      return std::make_unique<adversary::LocalStrategy>(
-          *accounts_, *metric_, config_.local_radius, options);
-    case StrategyKind::kSingleShard:
-      return std::make_unique<adversary::SingleShardStrategy>(*accounts_);
-  }
-  SSHARD_CHECK(false && "unknown strategy kind");
-  return nullptr;
 }
 
 void Simulation::StepRound(Round round) {

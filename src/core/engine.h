@@ -14,9 +14,11 @@
 //      per-round averages, max_pending and the pending series describe the
 //      same rounds_executed window the result reports.
 //
-// The engine knows no concrete scheduler: SimConfig::scheduler names an
-// entry in core::SchedulerRegistry and construction goes through the
-// registered builder (see core/scheduler_registry.h). The cluster
+// The engine knows no concrete scheduler and no concrete workload:
+// SimConfig::scheduler names an entry in core::SchedulerRegistry and
+// SimConfig::strategy names an entry in adversary::StrategyRegistry;
+// construction goes through the registered builders (see
+// core/scheduler_registry.h and adversary/strategy_registry.h). The cluster
 // hierarchy is built lazily, only when a scheduler's builder asks for it.
 #pragma once
 
@@ -65,7 +67,6 @@ class Simulation {
   }
 
  private:
-  std::unique_ptr<adversary::Strategy> MakeStrategy();
   const cluster::Hierarchy& EnsureHierarchy();
   void StepRound(Round round);
 

@@ -1,9 +1,5 @@
 #include "core/scheduler_registry.h"
 
-#include <cstdio>
-
-#include "common/check.h"
-
 namespace stableshard::core {
 
 SchedulerRegistry& SchedulerRegistry::Global() {
@@ -11,44 +7,6 @@ SchedulerRegistry& SchedulerRegistry::Global() {
   // translation units never observe an uninitialized registry.
   static SchedulerRegistry* registry = new SchedulerRegistry();
   return *registry;
-}
-
-void SchedulerRegistry::Register(const std::string& name, Builder builder) {
-  const auto [it, inserted] = builders_.emplace(name, std::move(builder));
-  (void)it;
-  SSHARD_CHECK(inserted && "scheduler name registered twice");
-}
-
-bool SchedulerRegistry::Contains(const std::string& name) const {
-  return builders_.find(name) != builders_.end();
-}
-
-std::unique_ptr<Scheduler> SchedulerRegistry::Build(const std::string& name,
-                                                    const SimConfig& config,
-                                                    SchedulerDeps& deps) const {
-  const auto it = builders_.find(name);
-  if (it == builders_.end()) {
-    std::fprintf(stderr, "unknown scheduler \"%s\"; registered:", name.c_str());
-    for (const auto& [known, builder] : builders_) {
-      (void)builder;
-      std::fprintf(stderr, " %s", known.c_str());
-    }
-    std::fprintf(stderr, "\n");
-    SSHARD_CHECK(false && "unknown scheduler name");
-  }
-  std::unique_ptr<Scheduler> scheduler = it->second(config, deps);
-  SSHARD_CHECK(scheduler != nullptr && "scheduler builder returned null");
-  return scheduler;
-}
-
-std::vector<std::string> SchedulerRegistry::Names() const {
-  std::vector<std::string> names;
-  names.reserve(builders_.size());
-  for (const auto& [name, builder] : builders_) {
-    (void)builder;
-    names.push_back(name);
-  }
-  return names;
 }
 
 }  // namespace stableshard::core

@@ -16,11 +16,11 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/registry.h"
 #include "core/config.h"
 #include "core/scheduler.h"
 
@@ -45,31 +45,16 @@ struct SchedulerDeps {
   std::function<const cluster::Hierarchy&()> hierarchy;
 };
 
-class SchedulerRegistry {
+/// The shared common::Registry supplies Register / Contains / Build /
+/// Names; unknown names abort with the sorted list of known schedulers.
+class SchedulerRegistry final
+    : public common::Registry<Scheduler, SimConfig, SchedulerDeps> {
  public:
-  using Builder =
-      std::function<std::unique_ptr<Scheduler>(const SimConfig&,
-                                               SchedulerDeps&)>;
-
   /// The process-wide registry (static-init safe).
   static SchedulerRegistry& Global();
 
-  /// Register `builder` under `name`; aborts on duplicates.
-  void Register(const std::string& name, Builder builder);
-
-  bool Contains(const std::string& name) const;
-
-  /// Build the scheduler registered under `name`; aborts with the list of
-  /// known names if `name` is unknown.
-  std::unique_ptr<Scheduler> Build(const std::string& name,
-                                   const SimConfig& config,
-                                   SchedulerDeps& deps) const;
-
-  /// Registered names, sorted (CLI help, error messages).
-  std::vector<std::string> Names() const;
-
  private:
-  std::map<std::string, Builder> builders_;
+  SchedulerRegistry() : Registry("scheduler") {}
 };
 
 /// Static-init helper: `const SchedulerRegistrar r{"name", builder};`

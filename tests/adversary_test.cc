@@ -4,8 +4,10 @@
 // pairwise construction must have its exact combinatorial structure.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <deque>
 #include <tuple>
+#include <vector>
 
 #include "adversary/adversary.h"
 #include "adversary/strategy.h"
@@ -190,6 +192,101 @@ TEST(SingleShardStrategy, OneShardPerTxn) {
     EXPECT_EQ(candidate.home,
               map.OwnerOf(candidate.accesses.front().account));
   }
+}
+
+TEST(HotDestinationStrategy, ConcentratesTrafficOnHotShard) {
+  const auto map = MakeMap(16, 16);
+  RandomStrategyOptions options;
+  options.max_shards_per_txn = 4;
+  HotDestinationStrategy strategy(map, /*theta=*/1.0, options);
+  EXPECT_EQ(strategy.hot_shard(), 0u);
+  Rng rng(7);
+  std::vector<int> touches(16, 0);
+  Candidate candidate;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(strategy.Next(0, rng, &candidate));
+    EXPECT_GE(candidate.accesses.size(), 1u);
+    EXPECT_LE(candidate.accesses.size(), 4u);
+    for (const ShardId shard : candidate.TouchedShards(map)) {
+      ++touches[shard];
+    }
+  }
+  // Zipf(1) skew: the rank-1 shard sees far more than its uniform share,
+  // and more than any other shard; the tail still participates.
+  const int total = 2000 * 4;
+  EXPECT_GT(touches[0], total / 16);
+  for (ShardId shard = 1; shard < 16; ++shard) {
+    EXPECT_GT(touches[0], touches[shard]) << "shard " << shard;
+    EXPECT_GT(touches[shard], 0) << "shard " << shard;
+  }
+}
+
+TEST(HotDestinationStrategy, DistinctAccountsPerCandidate) {
+  const auto map = MakeMap(8, 8);
+  RandomStrategyOptions options;
+  options.max_shards_per_txn = 4;
+  HotDestinationStrategy strategy(map, /*theta=*/2.0, options);  // heavy skew
+  Rng rng(8);
+  Candidate candidate;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(strategy.Next(0, rng, &candidate));
+    std::vector<AccountId> accounts;
+    for (const auto& access : candidate.accesses) {
+      accounts.push_back(access.account);
+    }
+    std::sort(accounts.begin(), accounts.end());
+    EXPECT_EQ(std::unique(accounts.begin(), accounts.end()), accounts.end());
+  }
+}
+
+TEST(DiameterSpanStrategy, EveryCandidateSpansTheDiameter) {
+  const auto map = MakeMap(16, 16);
+  net::LineMetric metric(16);
+  RandomStrategyOptions options;
+  options.max_shards_per_txn = 4;
+  DiameterSpanStrategy strategy(map, metric, options);
+  EXPECT_EQ(strategy.span(), metric.Diameter());
+  EXPECT_EQ(strategy.endpoint_a(), 0u);
+  EXPECT_EQ(strategy.endpoint_b(), 15u);
+  Rng rng(9);
+  Candidate candidate;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(strategy.Next(0, rng, &candidate));
+    const auto shards = candidate.TouchedShards(map);
+    Distance widest = 0;
+    for (const ShardId a : shards) {
+      for (const ShardId b : shards) {
+        widest = std::max(widest, metric.distance(a, b));
+      }
+    }
+    EXPECT_EQ(widest, metric.Diameter());
+    EXPECT_LE(candidate.accesses.size(), 4u);
+    // Homes alternate between the endpoints.
+    EXPECT_TRUE(candidate.home == 0u || candidate.home == 15u);
+  }
+}
+
+TEST(DiameterSpanStrategyDeath, RejectsWidthOneTransactions) {
+  // k = 1 candidates cannot anchor both endpoints; the constructor must
+  // refuse rather than silently exceed the declared transaction width.
+  const auto map = MakeMap(8, 8);
+  net::LineMetric metric(8);
+  RandomStrategyOptions options;
+  options.max_shards_per_txn = 1;
+  EXPECT_DEATH(DiameterSpanStrategy(map, metric, options), "k >= 2");
+}
+
+TEST(DiameterSpanStrategy, UniformMetricDegeneratesToDistanceOne) {
+  const auto map = MakeMap(6, 6);
+  net::UniformMetric metric(6);
+  RandomStrategyOptions options;
+  options.max_shards_per_txn = 3;
+  DiameterSpanStrategy strategy(map, metric, options);
+  EXPECT_EQ(strategy.span(), 1u);
+  Rng rng(10);
+  Candidate candidate;
+  ASSERT_TRUE(strategy.Next(0, rng, &candidate));
+  EXPECT_GE(candidate.TouchedShards(map).size(), 2u);
 }
 
 TEST(Adversary, InjectionRespectsWindowBoundPerShard) {

@@ -15,7 +15,6 @@ namespace {
 
 using core::SimConfig;
 using core::Simulation;
-using core::StrategyKind;
 using test::ExpectDrainedRunInvariants;
 using test::SmallConfig;
 
@@ -38,7 +37,7 @@ struct BdsCase {
   ShardId shards;
   AccountId accounts;
   std::uint32_t k;
-  StrategyKind strategy;
+  const char* strategy;  ///< a name registered in adversary::StrategyRegistry
   std::uint64_t seed;
 };
 
@@ -68,19 +67,20 @@ TEST_P(BdsProperty, InvariantsAcrossConfigs) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, BdsProperty,
     ::testing::Values(
-        BdsCase{4, 4, 2, StrategyKind::kUniformRandom, 1},
-        BdsCase{16, 16, 4, StrategyKind::kUniformRandom, 2},
-        BdsCase{16, 64, 4, StrategyKind::kUniformRandom, 3},
-        BdsCase{64, 64, 8, StrategyKind::kUniformRandom, 4},
-        BdsCase{16, 16, 4, StrategyKind::kHotspot, 5},
-        BdsCase{16, 16, 1, StrategyKind::kSingleShard, 6},
-        BdsCase{10, 10, 4, StrategyKind::kPairwiseConflict, 7},
-        BdsCase{16, 32, 3, StrategyKind::kLocal, 8}),
+        BdsCase{4, 4, 2, "uniform_random", 1},
+        BdsCase{16, 16, 4, "uniform_random", 2},
+        BdsCase{16, 64, 4, "uniform_random", 3},
+        BdsCase{64, 64, 8, "uniform_random", 4},
+        BdsCase{16, 16, 4, "hotspot", 5},
+        BdsCase{16, 16, 1, "single_shard", 6},
+        BdsCase{10, 10, 4, "pairwise_conflict", 7},
+        BdsCase{16, 32, 3, "local", 8},
+        BdsCase{16, 16, 4, "hot_destination", 9},
+        BdsCase{16, 16, 3, "diameter_span", 10}),
     [](const ::testing::TestParamInfo<BdsCase>& info) {
       const auto& p = info.param;
-      return std::string(core::ToString(p.strategy)) + "_s" +
-             std::to_string(p.shards) + "_k" + std::to_string(p.k) + "_seed" +
-             std::to_string(p.seed);
+      return std::string(p.strategy) + "_s" + std::to_string(p.shards) +
+             "_k" + std::to_string(p.k) + "_seed" + std::to_string(p.seed);
     });
 
 TEST(Bds, EpochLengthWithinLemma1Bound) {

@@ -39,7 +39,7 @@ TEST(Direct, HandlesAborts) {
 
 TEST(Direct, HotspotFullySerializes) {
   SimConfig config = SmallConfig("direct");
-  config.strategy = core::StrategyKind::kHotspot;
+  config.strategy = "hotspot";
   config.burstiness = 10;
   Simulation sim(config);
   const auto result = sim.Run();

@@ -11,6 +11,7 @@ namespace {
 using core::RunSweep;
 using core::SimConfig;
 using core::Simulation;
+using test::RunWithWorkers;
 using test::SmallConfig;
 
 TEST(Engine, DeterministicForSameSeed) {
@@ -48,8 +49,7 @@ TEST(Engine, SweepMatchesSerialRuns) {
   const auto sweep = RunSweep(configs, /*threads=*/4);
   ASSERT_EQ(sweep.size(), configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
-    Simulation serial(configs[i]);
-    const auto expected = serial.Run();
+    const auto expected = RunWithWorkers(configs[i], 1);
     EXPECT_EQ(sweep[i].result.injected, expected.injected) << "config " << i;
     EXPECT_EQ(sweep[i].result.messages, expected.messages) << "config " << i;
     EXPECT_DOUBLE_EQ(sweep[i].result.avg_latency, expected.avg_latency);
@@ -72,10 +72,7 @@ TEST(Engine, SweepWithInnerParallelConfigsMatchesSerialRuns) {
   const auto sweep = RunSweep(configs, /*threads=*/4);
   ASSERT_EQ(sweep.size(), configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
-    SimConfig serial_config = configs[i];
-    serial_config.worker_threads = 1;
-    Simulation serial(serial_config);
-    const auto expected = serial.Run();
+    const auto expected = RunWithWorkers(configs[i], 1);
     EXPECT_EQ(sweep[i].result.injected, expected.injected) << "config " << i;
     EXPECT_EQ(sweep[i].result.committed, expected.committed) << "config " << i;
     EXPECT_EQ(sweep[i].result.messages, expected.messages) << "config " << i;

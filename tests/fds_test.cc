@@ -15,7 +15,6 @@ namespace {
 using core::HierarchyKind;
 using core::SimConfig;
 using core::Simulation;
-using core::StrategyKind;
 using test::ExpectDrainedRunInvariants;
 using test::SmallConfig;
 
@@ -32,7 +31,7 @@ struct FdsCase {
   HierarchyKind hierarchy;
   ShardId shards;
   std::uint32_t k;
-  StrategyKind strategy;
+  const char* strategy;  ///< a name registered in adversary::StrategyRegistry
   bool reschedule;
   bool pipelined;
   std::uint64_t seed;
@@ -66,32 +65,35 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, FdsProperty,
     ::testing::Values(
         FdsCase{net::TopologyKind::kLine, HierarchyKind::kLineShifted, 16, 4,
-                StrategyKind::kUniformRandom, true, false, 1},
+                "uniform_random", true, false, 1},
         FdsCase{net::TopologyKind::kLine, HierarchyKind::kLineShifted, 64, 8,
-                StrategyKind::kUniformRandom, true, true, 2},
+                "uniform_random", true, true, 2},
         FdsCase{net::TopologyKind::kLine, HierarchyKind::kSparseCover, 16, 4,
-                StrategyKind::kUniformRandom, true, true, 3},
+                "uniform_random", true, true, 3},
         FdsCase{net::TopologyKind::kRing, HierarchyKind::kSparseCover, 16, 4,
-                StrategyKind::kUniformRandom, true, true, 4},
+                "uniform_random", true, true, 4},
         FdsCase{net::TopologyKind::kGrid, HierarchyKind::kSparseCover, 16, 4,
-                StrategyKind::kUniformRandom, true, true, 5},
+                "uniform_random", true, true, 5},
         FdsCase{net::TopologyKind::kUniform, HierarchyKind::kSparseCover, 16,
-                4, StrategyKind::kUniformRandom, true, true, 6},
+                4, "uniform_random", true, true, 6},
         FdsCase{net::TopologyKind::kLine, HierarchyKind::kLineShifted, 16, 4,
-                StrategyKind::kUniformRandom, false, true, 7},
+                "uniform_random", false, true, 7},
         FdsCase{net::TopologyKind::kLine, HierarchyKind::kLineShifted, 16, 4,
-                StrategyKind::kHotspot, true, false, 8},
+                "hotspot", true, false, 8},
         FdsCase{net::TopologyKind::kLine, HierarchyKind::kLineShifted, 16, 3,
-                StrategyKind::kLocal, true, true, 9},
+                "local", true, true, 9},
         FdsCase{net::TopologyKind::kLine, HierarchyKind::kLineShifted, 16, 1,
-                StrategyKind::kSingleShard, true, true, 10}),
+                "single_shard", true, true, 10},
+        FdsCase{net::TopologyKind::kLine, HierarchyKind::kLineShifted, 16, 4,
+                "hot_destination", true, true, 11},
+        FdsCase{net::TopologyKind::kLine, HierarchyKind::kLineShifted, 16, 3,
+                "diameter_span", true, true, 12}),
     [](const ::testing::TestParamInfo<FdsCase>& info) {
       const auto& p = info.param;
       return net::TopologyName(p.topology) + "_" +
              (p.hierarchy == HierarchyKind::kLineShifted ? "shifted"
                                                          : "cover") +
-             "_s" + std::to_string(p.shards) + "_" +
-             core::ToString(p.strategy) +
+             "_s" + std::to_string(p.shards) + "_" + p.strategy +
              (p.reschedule ? "_resch" : "_noresch") +
              (p.pipelined ? "_pipe" : "_pin") + "_seed" +
              std::to_string(p.seed);
@@ -140,7 +142,7 @@ TEST(Fds, LocalWorkloadUsesLowLayers) {
   SimConfig config = SmallConfig("fds");
   config.shards = 32;
   config.accounts = 32;
-  config.strategy = StrategyKind::kLocal;
+  config.strategy = "local";
   config.local_radius = 1;
   config.k = 2;
   config.account_assignment = core::AccountAssignment::kRoundRobin;

@@ -15,36 +15,10 @@ namespace {
 using core::SimConfig;
 using core::SimResult;
 using core::Simulation;
+using test::ExpectBitIdenticalResults;
 using test::ExpectDrainedRunInvariants;
+using test::RunWithWorkers;
 using test::SmallConfig;
-
-SimResult RunWith(SimConfig config, std::uint32_t workers) {
-  config.worker_threads = workers;
-  Simulation sim(config);
-  return sim.Run();
-}
-
-void ExpectIdenticalResults(const SimResult& serial,
-                            const SimResult& parallel) {
-  EXPECT_EQ(serial.injected, parallel.injected);
-  EXPECT_EQ(serial.committed, parallel.committed);
-  EXPECT_EQ(serial.aborted, parallel.aborted);
-  EXPECT_EQ(serial.unresolved, parallel.unresolved);
-  EXPECT_EQ(serial.max_pending, parallel.max_pending);
-  EXPECT_EQ(serial.messages, parallel.messages);
-  EXPECT_EQ(serial.payload_units, parallel.payload_units);
-  EXPECT_EQ(serial.rounds_executed, parallel.rounds_executed);
-  EXPECT_EQ(serial.drained, parallel.drained);
-  // Doubles must match bit-for-bit: the parallel path performs the exact
-  // same arithmetic in the exact same order.
-  EXPECT_DOUBLE_EQ(serial.avg_pending_per_shard,
-                   parallel.avg_pending_per_shard);
-  EXPECT_DOUBLE_EQ(serial.avg_leader_queue, parallel.avg_leader_queue);
-  EXPECT_DOUBLE_EQ(serial.avg_latency, parallel.avg_latency);
-  EXPECT_DOUBLE_EQ(serial.max_latency, parallel.max_latency);
-  EXPECT_DOUBLE_EQ(serial.p50_latency, parallel.p50_latency);
-  EXPECT_DOUBLE_EQ(serial.p99_latency, parallel.p99_latency);
-}
 
 class ParallelDeterminism
     : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
@@ -56,9 +30,9 @@ TEST_P(ParallelDeterminism, MatchesSerialExecution) {
   config.seed = seed;
   config.rounds = 800;
   config.drain_cap = 60000;
-  const SimResult serial = RunWith(config, 1);
-  const SimResult parallel = RunWith(config, 4);
-  ExpectIdenticalResults(serial, parallel);
+  const SimResult serial = RunWithWorkers(config, 1);
+  const SimResult parallel = RunWithWorkers(config, 4);
+  ExpectBitIdenticalResults(serial, parallel);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -93,9 +67,9 @@ TEST(ParallelEngine, PinnedModeIdenticalUnderThreads) {
   SimConfig config = SmallConfig("fds");
   config.fds_pipelined = false;
   config.rounds = 600;
-  const SimResult serial = RunWith(config, 1);
-  const SimResult parallel = RunWith(config, 3);
-  ExpectIdenticalResults(serial, parallel);
+  const SimResult serial = RunWithWorkers(config, 1);
+  const SimResult parallel = RunWithWorkers(config, 3);
+  ExpectBitIdenticalResults(serial, parallel);
 }
 
 TEST(ParallelEngine, LargeScaleLineDeterministicAt1024Shards) {
@@ -110,7 +84,7 @@ TEST(ParallelEngine, LargeScaleLineDeterministicAt1024Shards) {
   config.shards = 1024;
   config.accounts = 1024;
   config.k = 4;
-  config.strategy = core::StrategyKind::kLocal;
+  config.strategy = "local";
   config.local_radius = 8;
   config.rho = 0.05;
   config.burstiness = 200;
@@ -125,11 +99,11 @@ TEST(ParallelEngine, LargeScaleLineDeterministicAt1024Shards) {
     EXPECT_EQ(idle.dense_bucket_equivalent, (1023u + 2u) * 1024u);
   }
 
-  const SimResult serial = RunWith(config, 1);
-  const SimResult parallel = RunWith(config, 8);
+  const SimResult serial = RunWithWorkers(config, 1);
+  const SimResult parallel = RunWithWorkers(config, 8);
   EXPECT_GT(serial.injected, 0u);
   EXPECT_TRUE(serial.drained);
-  ExpectIdenticalResults(serial, parallel);
+  ExpectBitIdenticalResults(serial, parallel);
 }
 
 TEST(ParallelEngine, OversubscribedPoolStillIdentical) {
@@ -139,9 +113,9 @@ TEST(ParallelEngine, OversubscribedPoolStillIdentical) {
   config.shards = 4;
   config.accounts = 4;
   config.rounds = 500;
-  const SimResult serial = RunWith(config, 1);
-  const SimResult parallel = RunWith(config, 8);
-  ExpectIdenticalResults(serial, parallel);
+  const SimResult serial = RunWithWorkers(config, 1);
+  const SimResult parallel = RunWithWorkers(config, 8);
+  ExpectBitIdenticalResults(serial, parallel);
 }
 
 }  // namespace

@@ -1,12 +1,14 @@
-// Scheduler registry tests: the engine constructs schedulers purely by
-// registered name, unknown names die with a listing, and an externally
-// registered scheduler plugs into Simulation without any engine edits.
+// Registry tests: the engine constructs schedulers AND workload strategies
+// purely by registered name, unknown names die with the sorted listing,
+// duplicate registrations die, and externally registered schedulers /
+// strategies plug into Simulation without any engine edits.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <memory>
 #include <string>
 
+#include "adversary/strategy_registry.h"
 #include "core/direct.h"
 #include "core/engine.h"
 #include "core/scheduler_registry.h"
@@ -15,6 +17,8 @@
 namespace stableshard {
 namespace {
 
+using adversary::StrategyDeps;
+using adversary::StrategyRegistry;
 using core::Scheduler;
 using core::SchedulerDeps;
 using core::SchedulerRegistry;
@@ -84,12 +88,76 @@ TEST(Registry, ExternalSchedulerNeedsNoEngineEdits) {
   ExpectDrainedRunInvariants(sim, result, /*same_round_atomicity=*/false);
 }
 
+TEST(StrategyRegistryTest, BuiltinStrategiesAreRegistered) {
+  auto& registry = StrategyRegistry::Global();
+  for (const char* name :
+       {"uniform_random", "hotspot", "pairwise_conflict", "local",
+        "single_shard", "hot_destination", "diameter_span"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  EXPECT_FALSE(registry.Contains("nope"));
+  const auto names = registry.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_GE(names.size(), 7u);
+}
+
+TEST(StrategyRegistryTest, EngineBuildsEachBuiltinByName) {
+  // Fixed builtin list, not Names(): other tests register aliases in this
+  // process whose name() differs from their registration key.
+  for (const std::string name :
+       {"uniform_random", "hotspot", "pairwise_conflict", "local",
+        "single_shard", "hot_destination", "diameter_span"}) {
+    SimConfig config = SmallConfig("direct");
+    config.strategy = name;
+    config.rounds = 50;
+    config.drain_cap = 0;
+    Simulation sim(config);
+    EXPECT_EQ(sim.adversary().strategy().name(), name);
+    const auto result = sim.Run();
+    EXPECT_GT(result.injected, 0u);
+  }
+}
+
+TEST(StrategyRegistryTest, ExternalStrategyNeedsNoEngineEdits) {
+  // Register a workload the engine has never heard of and run a full
+  // simulation with it — the acceptance test for the registry layer.
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    StrategyRegistry::Global().Register(
+        "test_single_shard_alias",
+        [](const core::SimConfig& config, StrategyDeps& deps) {
+          (void)config;
+          return std::unique_ptr<adversary::Strategy>(
+              std::make_unique<adversary::SingleShardStrategy>(deps.accounts));
+        });
+  }
+  SimConfig config = SmallConfig("direct");
+  config.strategy = "test_single_shard_alias";
+  config.rounds = 400;
+  Simulation sim(config);
+  const auto result = sim.Run();
+  EXPECT_GT(result.injected, 0u);
+  ExpectDrainedRunInvariants(sim, result, /*same_round_atomicity=*/false);
+}
+
 using RegistryDeathTest = ::testing::Test;
 
 TEST(RegistryDeathTest, UnknownSchedulerDies) {
   SimConfig config = SmallConfig("bds");
   config.scheduler = "no_such_scheduler";
-  EXPECT_DEATH(Simulation sim(config), "unknown scheduler");
+  // The abort message carries the sorted list of known names.
+  EXPECT_DEATH(Simulation sim(config),
+               "unknown scheduler.*registered:.*bds.*direct.*fds");
+}
+
+TEST(RegistryDeathTest, UnknownStrategyDies) {
+  SimConfig config = SmallConfig("bds");
+  config.strategy = "no_such_strategy";
+  // Sorted listing: diameter_span < hotspot < uniform_random.
+  EXPECT_DEATH(
+      Simulation sim(config),
+      "unknown strategy.*registered:.*diameter_span.*hotspot.*uniform_random");
 }
 
 TEST(RegistryDeathTest, DuplicateRegistrationDies) {
@@ -97,6 +165,15 @@ TEST(RegistryDeathTest, DuplicateRegistrationDies) {
                    "bds",
                    [](const SimConfig&, SchedulerDeps&) {
                      return std::unique_ptr<Scheduler>();
+                   }),
+               "twice");
+}
+
+TEST(RegistryDeathTest, DuplicateStrategyRegistrationDies) {
+  EXPECT_DEATH(StrategyRegistry::Global().Register(
+                   "uniform_random",
+                   [](const core::SimConfig&, StrategyDeps&) {
+                     return std::unique_ptr<adversary::Strategy>();
                    }),
                "twice");
 }

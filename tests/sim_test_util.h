@@ -1,6 +1,10 @@
-// Shared helpers for the scheduler integration tests: canned configurations
-// and the common post-run invariant bundle (liveness, chain integrity,
-// serializability, accounting consistency).
+// Shared helpers for the scheduler integration tests: canned
+// configurations, single-sourced run helpers (worker-thread overrides, the
+// bit-identical SimResult comparison) and the common post-run invariant
+// bundle (liveness, chain integrity, serializability, accounting
+// consistency). Tests must build configs through these helpers rather than
+// hand-rolling copies — the copies in engine_test.cc / parallel_engine_test
+// had started to drift from the config.cc defaults.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -27,6 +31,36 @@ inline core::SimConfig SmallConfig(const std::string& scheduler) {
   config.topology = scheduler == "bds" ? net::TopologyKind::kUniform
                                        : net::TopologyKind::kLine;
   return config;
+}
+
+/// Run `config` once with the given worker-thread count.
+inline core::SimResult RunWithWorkers(core::SimConfig config,
+                                      std::uint32_t workers) {
+  config.worker_threads = workers;
+  core::Simulation sim(config);
+  return sim.Run();
+}
+
+/// Every SimResult field equal; doubles bit-for-bit — the parallel path
+/// performs the exact same arithmetic in the exact same order, so
+/// worker_threads must never perturb a single bit of the outcome.
+inline void ExpectBitIdenticalResults(const core::SimResult& a,
+                                      const core::SimResult& b) {
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.aborted, b.aborted);
+  EXPECT_EQ(a.unresolved, b.unresolved);
+  EXPECT_EQ(a.max_pending, b.max_pending);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.payload_units, b.payload_units);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_DOUBLE_EQ(a.avg_pending_per_shard, b.avg_pending_per_shard);
+  EXPECT_DOUBLE_EQ(a.avg_leader_queue, b.avg_leader_queue);
+  EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_DOUBLE_EQ(a.max_latency, b.max_latency);
+  EXPECT_DOUBLE_EQ(a.p50_latency, b.p50_latency);
+  EXPECT_DOUBLE_EQ(a.p99_latency, b.p99_latency);
 }
 
 /// Invariants every scheduler must satisfy after a drained run:

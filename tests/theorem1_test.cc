@@ -14,7 +14,6 @@ namespace {
 
 using core::SimConfig;
 using core::Simulation;
-using core::StrategyKind;
 
 SimConfig PairwiseConfig(double rho, const std::string& scheduler) {
   SimConfig config;
@@ -24,7 +23,7 @@ SimConfig PairwiseConfig(double rho, const std::string& scheduler) {
   config.shards = 10;  // k(k+1)/2 = 10 shards used by the construction
   config.accounts = 10;
   config.account_assignment = core::AccountAssignment::kRoundRobin;
-  config.strategy = StrategyKind::kPairwiseConflict;
+  config.strategy = "pairwise_conflict";
   config.rho = rho;
   config.burstiness = 4;
   config.burst_round = kNoRound;
