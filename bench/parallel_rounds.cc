@@ -4,10 +4,23 @@
 // network-ring footprint (idle and steady-state) and the per-shard traffic
 // split that quantifies BDS's single-leader Amdahl bottleneck.
 //
-// Single-config mode (the CI smoke):
+// Single-config mode:
 //   build/bench/parallel_rounds [--scheduler=bds|fds|direct] [--shards=256]
 //       [--topology=uniform|line|ring] [--rho=0.3] [--b=3000]
 //       [--rounds=1500] [--workers=8] [--k=8] [--seed=42]
+//
+// Determinism check mode (the CI smoke): workers 1 vs 4, pipelined and
+// serial epilogue, all three schedulers on small configs — asserts every
+// SimResult bit-identical and exits 0:
+//   build/bench/parallel_rounds --check
+//
+// Phase-timing mode (the pipelined-epilogue before/after record): times
+// generate / inject / BeginRound / StepShard / flush / finish / sample
+// separately and reports each config's serial share, with the pipelined
+// epilogue off ("before": EndRound fully serial) and on ("after":
+// destination-partitioned flush overlapped with next-round generation):
+//   build/bench/parallel_rounds --phases [--smoke] [--rounds=300]
+//       [--rho=0.15] [--b=3000] [--radius=8] [--json=BENCH_pipeline.json]
 //
 // Large-s grid mode (the ROADMAP s = 1024 sweep):
 //   build/bench/parallel_rounds --grid [--rounds=400] [--rho=0.15]
@@ -48,12 +61,16 @@ struct TimedRun {
   double seconds = 0;
   net::RingMemory memory_at_start;  ///< after construction, before round 0
   net::RingMemory memory_at_end;
+  net::LaneMemory lane_memory_at_end;  ///< outbox footprint after the run
+  core::PhaseTimes phases;
   double leader_in_share = 0;   ///< max_i messages_in(i) / messages_sent
   double leader_out_share = 0;  ///< max_i messages_out(i) / messages_sent
 };
 
-TimedRun RunOnce(core::SimConfig config, std::uint32_t workers) {
+TimedRun RunOnce(core::SimConfig config, std::uint32_t workers,
+                 bool pipeline = true) {
   config.worker_threads = workers;
+  config.pipeline = pipeline;
   core::Simulation sim(config);
   TimedRun timed;
   timed.memory_at_start = sim.scheduler().NetworkMemory();
@@ -63,6 +80,8 @@ TimedRun RunOnce(core::SimConfig config, std::uint32_t workers) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   timed.memory_at_end = sim.scheduler().NetworkMemory();
+  timed.lane_memory_at_end = sim.scheduler().OutboxMemory();
+  timed.phases = sim.phase_times();
   std::uint64_t max_in = 0, max_out = 0;
   for (ShardId shard = 0; shard < config.shards; ++shard) {
     const net::ShardTraffic traffic = sim.scheduler().ShardTrafficFor(shard);
@@ -76,6 +95,16 @@ TimedRun RunOnce(core::SimConfig config, std::uint32_t workers) {
                              static_cast<double>(timed.result.messages);
   }
   return timed;
+}
+
+/// Fraction of the run the driving thread spent outside the two phases
+/// that scale with workers (the StepShard fan-out and the partitioned
+/// flush window) — the Amdahl serial share of one round.
+double SerialShare(const core::PhaseTimes& phases) {
+  if (phases.total <= 0) return 0;
+  const double share =
+      (phases.total - phases.step - phases.flush) / phases.total;
+  return std::max(0.0, share);
 }
 
 bool Identical(const core::SimResult& a, const core::SimResult& b) {
@@ -100,6 +129,13 @@ void PrintRingMemory(const TimedRun& run) {
       static_cast<unsigned long long>(end.live_destinations),
       static_cast<unsigned long long>(end.allocated_buckets),
       static_cast<double>(end.bucket_capacity_bytes) / (1024.0 * 1024.0));
+  const net::LaneMemory& lanes = run.lane_memory_at_end;
+  std::printf(
+      "outbox lanes: %llu with capacity, %.2f MB reserved, decayed "
+      "high-water %llu items (burst capacity is released, not pinned)\n",
+      static_cast<unsigned long long>(lanes.lanes_with_capacity),
+      static_cast<double>(lanes.capacity_bytes) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(lanes.high_water_items));
 }
 
 struct GridRow {
@@ -229,6 +265,190 @@ int RunGrid(const Flags& flags) {
   return 0;
 }
 
+/// One row of the --phases table/JSON: one (cell, workers, pipeline) run.
+struct PhasesRow {
+  ShardId shards = 0;
+  std::string topology;
+  std::string scheduler;
+  std::uint32_t workers = 0;
+  bool pipeline = false;
+  double seconds = 0;
+  double speedup = 0;  ///< vs the cell's workers = 1 baseline
+  double serial_share = 0;
+  bool identical = false;
+  core::PhaseTimes phases;
+  net::LaneMemory lanes;
+};
+
+int RunPhases(const Flags& flags) {
+  const bool smoke = flags.GetBool("smoke", false);
+  const auto rounds =
+      static_cast<Round>(flags.GetUint("rounds", smoke ? 200 : 300));
+  const double rho = flags.GetDouble("rho", 0.15);
+  const double burst = flags.GetDouble("b", smoke ? 500 : 3000);
+  const std::uint64_t seed = flags.GetUint("seed", 42);
+  const auto radius = static_cast<Distance>(flags.GetUint("radius", 8));
+  const std::string json_path =
+      flags.GetString("json", "BENCH_pipeline.json");
+  if (!flags.FinishReads()) return 2;
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "--json: cannot open '%s' for writing\n",
+                 json_path.c_str());
+    return 2;
+  }
+
+  const std::vector<ShardId> sizes =
+      smoke ? std::vector<ShardId>{64} : std::vector<ShardId>{256, 1024};
+  const std::vector<std::uint32_t> worker_grid =
+      smoke ? std::vector<std::uint32_t>{1, 4}
+            : std::vector<std::uint32_t>{1, 2, 4, 8};
+  const std::pair<net::TopologyKind, const char*> cells[] = {
+      {net::TopologyKind::kUniform, "bds"}, {net::TopologyKind::kLine, "fds"}};
+
+  std::printf(
+      "parallel_rounds phases: per-round wall-clock split, pipelined "
+      "epilogue off (\"before\": serial EndRound) vs on (\"after\": "
+      "destination-partitioned flush + overlapped generation)\n\n");
+  std::printf("%6s %8s %5s %7s %8s | %8s %8s | %8s %8s %8s %8s | %8s\n", "s",
+              "topology", "sched", "workers", "pipeline", "seconds",
+              "speedup", "step_s", "flush_s", "finish_s", "serial%",
+              "identical");
+
+  std::vector<PhasesRow> rows;
+  bool all_identical = true;
+  for (const auto& [topology, scheduler] : cells) {
+    for (const ShardId shards : sizes) {
+      core::SimConfig config = bench::LargeGridConfig(
+          {topology, scheduler, shards}, rho, burst, rounds, radius);
+      config.seed = seed;
+
+      TimedRun baseline;
+      for (const std::uint32_t workers : worker_grid) {
+        // workers = 1 has no pool, so the pipeline flag is moot: run it
+        // once as the shared baseline.
+        for (const bool pipeline : {false, true}) {
+          if (workers == 1 && !pipeline) continue;
+          const TimedRun timed = RunOnce(config, workers, pipeline);
+          if (workers == 1) baseline = timed;
+          const bool identical =
+              Identical(baseline.result, timed.result);
+          all_identical = all_identical && identical;
+
+          PhasesRow row;
+          row.shards = shards;
+          row.topology = net::TopologyName(topology);
+          row.scheduler = scheduler;
+          row.workers = workers;
+          row.pipeline = pipeline;
+          row.seconds = timed.seconds;
+          row.speedup =
+              timed.seconds > 0 ? baseline.seconds / timed.seconds : 0.0;
+          row.serial_share = SerialShare(timed.phases);
+          row.identical = identical;
+          row.phases = timed.phases;
+          row.lanes = timed.lane_memory_at_end;
+          rows.push_back(row);
+
+          std::printf(
+              "%6u %8s %5s %7u %8s | %8.3f %7.2fx | %8.3f %8.3f %8.3f "
+              "%7.1f%% | %8s\n",
+              shards, row.topology.c_str(), scheduler, workers,
+              workers == 1 ? "n/a" : (pipeline ? "on" : "off"),
+              timed.seconds, row.speedup, timed.phases.step,
+              timed.phases.flush, timed.phases.finish,
+              100.0 * row.serial_share, identical ? "yes" : "NO");
+        }
+      }
+    }
+  }
+
+  std::fprintf(json,
+               "{\n  \"bench\": \"parallel_rounds_phases\",\n"
+               "  \"burst\": %.0f,\n  \"rho\": %.4f,\n  \"rounds\": %llu,\n"
+               "  \"rows\": [\n",
+               burst, rho, static_cast<unsigned long long>(rounds));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const PhasesRow& row = rows[i];
+    std::fprintf(
+        json,
+        "    {\"s\": %u, \"topology\": \"%s\", \"scheduler\": \"%s\",\n"
+        "     \"workers\": %u, \"pipeline\": %s,\n"
+        "     \"seconds\": %.6f, \"speedup\": %.4f, \"identical\": %s,\n"
+        "     \"serial_share\": %.6f,\n"
+        "     \"phase_generate\": %.6f, \"phase_inject\": %.6f,\n"
+        "     \"phase_begin\": %.6f, \"phase_step\": %.6f,\n"
+        "     \"phase_flush\": %.6f, \"phase_finish\": %.6f,\n"
+        "     \"phase_sample\": %.6f, \"phase_total\": %.6f,\n"
+        "     \"outbox_capacity_bytes\": %llu,\n"
+        "     \"outbox_high_water_items\": %llu}%s\n",
+        row.shards, row.topology.c_str(), row.scheduler.c_str(), row.workers,
+        row.pipeline ? "true" : "false", row.seconds, row.speedup,
+        row.identical ? "true" : "false", row.serial_share,
+        row.phases.generate, row.phases.inject, row.phases.begin,
+        row.phases.step, row.phases.flush, row.phases.finish,
+        row.phases.sample, row.phases.total,
+        static_cast<unsigned long long>(row.lanes.capacity_bytes),
+        static_cast<unsigned long long>(row.lanes.high_water_items),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+
+  SSHARD_CHECK(all_identical &&
+               "pipeline/worker_threads changed a SimResult — determinism "
+               "bug");
+  std::printf(
+      "\nall %zu runs bit-identical across worker counts and pipeline "
+      "modes; table written to %s\n"
+      "Reading: with the pipeline off, EndRound's flush is the serial "
+      "finish_s column; with it on, that work moves into flush_s — a "
+      "pool-partitioned window that also hides next-round generation — so "
+      "the serial share (everything outside step_s + flush_s) drops.\n",
+      rows.size(), json_path.c_str());
+  return 0;
+}
+
+int RunCheck(const Flags& flags) {
+  const auto rounds = static_cast<Round>(flags.GetUint("rounds", 300));
+  const std::uint64_t seed = flags.GetUint("seed", 42);
+  if (!flags.FinishReads()) return 2;
+
+  // Small configs, every scheduler: workers 1 (serial epilogue) vs 4 with
+  // the pipelined epilogue on and off must agree bit-for-bit.
+  for (const char* scheduler : {"bds", "fds", "direct"}) {
+    core::SimConfig config;
+    config.scheduler = scheduler;
+    config.shards = 32;
+    config.accounts = 32;
+    config.k = 8;
+    config.rho = 0.2;
+    config.burstiness = 300;
+    config.rounds = rounds;
+    config.seed = seed;
+    config.topology = std::string(scheduler) == "bds"
+                          ? net::TopologyKind::kUniform
+                          : net::TopologyKind::kLine;
+    config.hierarchy = bench::HierarchyFor(config.topology);
+
+    const TimedRun serial = RunOnce(config, 1);
+    const TimedRun pipelined = RunOnce(config, 4, /*pipeline=*/true);
+    const TimedRun unpipelined = RunOnce(config, 4, /*pipeline=*/false);
+    const bool identical = Identical(serial.result, pipelined.result) &&
+                           Identical(serial.result, unpipelined.result);
+    std::printf("check %-6s: injected=%llu committed=%llu %s\n", scheduler,
+                static_cast<unsigned long long>(serial.result.injected),
+                static_cast<unsigned long long>(serial.result.committed),
+                identical ? "identical" : "MISMATCH");
+    SSHARD_CHECK(identical &&
+                 "pipeline/worker_threads changed a SimResult — determinism "
+                 "bug");
+  }
+  std::printf("determinism check passed (3 schedulers, workers 1 vs 4, "
+              "pipeline on/off)\n");
+  return 0;
+}
+
 int RunSingle(const Flags& flags) {
   core::SimConfig config;
   config.scheduler = flags.GetString("scheduler", "fds");
@@ -299,5 +519,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (flags.GetBool("grid", false)) return RunGrid(flags);
+  if (flags.GetBool("phases", false)) return RunPhases(flags);
+  if (flags.GetBool("check", false)) return RunCheck(flags);
   return RunSingle(flags);
 }

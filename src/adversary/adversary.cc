@@ -37,8 +37,9 @@ bool Adversary::TryInjectOne(Round round,
   return false;
 }
 
-std::vector<txn::Transaction> Adversary::GenerateRound(Round round) {
-  std::vector<txn::Transaction> injected;
+void Adversary::GenerateRound(Round round,
+                              std::vector<txn::Transaction>& out) {
+  out.clear();
   if (round > 0) buckets_.Tick();
 
   // One-time burst of b transactions (paper Section 7: burstiness is
@@ -52,10 +53,10 @@ std::vector<txn::Transaction> Adversary::GenerateRound(Round round) {
     const auto burst_target =
         static_cast<std::uint64_t>(config_.burstiness);
     for (std::uint64_t i = 0; i < burst_target; ++i) {
-      if (!TryInjectOne(round, &injected)) break;
+      if (!TryInjectOne(round, &out)) break;
     }
     stats_.burst_injected = stats_.injected;
-    return injected;
+    return;
   }
 
   // Steady stream: pace aggregate congestion at rho per shard per round,
@@ -63,14 +64,13 @@ std::vector<txn::Transaction> Adversary::GenerateRound(Round round) {
   pacing_budget_ += config_.rho * static_cast<double>(map_->shard_count());
   while (pacing_budget_ >= 1.0) {
     const std::uint64_t before = stats_.congestion;
-    if (!TryInjectOne(round, &injected)) break;
+    if (!TryInjectOne(round, &out)) break;
     pacing_budget_ -= static_cast<double>(stats_.congestion - before);
   }
   // Do not bank unlimited budget across blocked periods: the buckets are
   // the real constraint, the budget only shapes the average rate.
   const double cap = 2.0 * static_cast<double>(map_->shard_count());
   if (pacing_budget_ > cap) pacing_budget_ = cap;
-  return injected;
 }
 
 }  // namespace stableshard::adversary

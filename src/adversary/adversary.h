@@ -46,9 +46,19 @@ class Adversary {
   Adversary(const AdversaryConfig& config, const chain::AccountMap& map,
             std::unique_ptr<Strategy> strategy);
 
-  /// Generate this round's injections. Must be called once per round in
-  /// increasing round order.
-  std::vector<txn::Transaction> GenerateRound(Round round);
+  /// Generate this round's injections into `out` (cleared first). Must be
+  /// called once per round in increasing round order. Touches only
+  /// adversary-owned state (strategy, buckets, factory, rng), so the engine
+  /// may overlap it with a scheduler's pipelined flush of the previous
+  /// round. Hot paths pass a reused buffer; the allocating overload below
+  /// is the convenience for tests.
+  void GenerateRound(Round round, std::vector<txn::Transaction>& out);
+
+  std::vector<txn::Transaction> GenerateRound(Round round) {
+    std::vector<txn::Transaction> injected;
+    GenerateRound(round, injected);
+    return injected;
+  }
 
   const AdversaryStats& stats() const { return stats_; }
   const TokenBucketArray& buckets() const { return buckets_; }

@@ -70,6 +70,18 @@ class ThreadPool {
     Wait();
   }
 
+  /// Submit `fn(i)` for i in [0, count) WITHOUT waiting: the caller overlaps
+  /// its own serial work with the tasks and then calls Wait() — the engine's
+  /// pipelined round epilogue runs the adversary's next-round generation on
+  /// the driving thread while flush partitions drain here. Each task owns a
+  /// copy of `fn`, so the callable need not outlive the call.
+  template <typename Fn>
+  void Dispatch(std::size_t count, Fn fn) {
+    for (std::size_t i = 0; i < count; ++i) {
+      Submit([fn, i] { fn(i); });
+    }
+  }
+
   /// One-shot convenience: run on a throwaway pool of `threads` workers.
   template <typename Fn>
   static void ParallelFor(std::size_t count, Fn&& fn, std::size_t threads) {

@@ -110,6 +110,24 @@ void BdsScheduler::EndRound(Round round) {
   ledger_->FlushRound(round);
 }
 
+void BdsScheduler::SealRound(Round round, std::uint32_t parts) {
+  (void)round;
+  outbox_.Seal();
+  ledger_->SealJournal(parts);
+}
+
+void BdsScheduler::FlushRoundPartition(Round round, std::uint32_t part,
+                                       std::uint32_t parts) {
+  const auto [begin, end] = FlushShardRange(shard_count(), part, parts);
+  outbox_.FlushSealedTo(network_, round, begin, end);
+  ledger_->ResolveSealedPartition(part, round);
+}
+
+void BdsScheduler::FinishRound(Round round) {
+  outbox_.FinishSealedFlush(network_);
+  ledger_->FinishSealedRound(round);
+}
+
 void BdsScheduler::ShipPending(ShardId home) {
   // Phase 1: the home shard ships its whole pending queue to the leader.
   // Also resets the home's per-color schedule from the finished epoch.

@@ -75,6 +75,10 @@ class BdsScheduler final : public Scheduler {
   void BeginRound(Round round) override;
   void StepShard(ShardId shard, Round round) override;
   void EndRound(Round round) override;
+  void SealRound(Round round, std::uint32_t parts) override;
+  void FlushRoundPartition(Round round, std::uint32_t part,
+                           std::uint32_t parts) override;
+  void FinishRound(Round round) override;
   ShardId shard_count() const override { return metric_->shard_count(); }
   bool Idle() const override;
   std::uint64_t MessagesSent() const override {
@@ -85,6 +89,9 @@ class BdsScheduler final : public Scheduler {
   }
   net::RingMemory NetworkMemory() const override {
     return network_.ring_memory();
+  }
+  net::LaneMemory OutboxMemory() const override {
+    return outbox_.lane_memory();
   }
   net::ShardTraffic ShardTrafficFor(ShardId shard) const override {
     return network_.shard_traffic(shard);

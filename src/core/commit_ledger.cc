@@ -92,6 +92,84 @@ void CommitLedger::FlushRound(Round round) {
   }
 }
 
+void CommitLedger::SealJournal(std::uint32_t parts) {
+  SSHARD_CHECK(parts >= 1);
+#ifndef NDEBUG
+  for (const std::vector<JournalEntry>& shard_journal : sealed_journal_) {
+    SSHARD_DCHECK(shard_journal.empty() &&
+                  "sealing over an undrained journal");
+  }
+#endif
+  if (sealed_journal_.empty()) sealed_journal_.resize(journal_.size());
+  journal_.swap(sealed_journal_);
+  sealed_prefix_.resize(sealed_journal_.size());
+  std::uint64_t base = 0;
+  for (std::size_t dest = 0; dest < sealed_journal_.size(); ++dest) {
+    sealed_prefix_[dest] = base;
+    base += sealed_journal_[dest].size();
+  }
+  if (completions_.size() < parts) completions_.resize(parts);
+  sealed_parts_ = parts;
+}
+
+void CommitLedger::ResolveSealedPartition(std::uint32_t part, Round round) {
+  (void)round;
+  SSHARD_DCHECK(part < sealed_parts_);
+  std::vector<Completion>& out = completions_[part];
+  out.clear();
+  for (std::size_t dest = 0; dest < sealed_journal_.size(); ++dest) {
+    const std::vector<JournalEntry>& entries = sealed_journal_[dest];
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const JournalEntry& entry = entries[i];
+      if (entry.txn % sealed_parts_ != part) continue;
+      // Concurrent find()s never mutate the map structure (no insertion may
+      // overlap the drain window) and each record belongs to one partition.
+      const auto it = records_.find(entry.txn);
+      SSHARD_CHECK(it != records_.end() && "confirm for unregistered txn");
+      TxnRecord& record = it->second;
+      SSHARD_CHECK(record.remaining > 0 && "confirm after txn resolved");
+      if (!entry.commit) record.any_abort = true;
+      if (--record.remaining == 0) {
+        out.push_back(Completion{sealed_prefix_[dest] + i, record.injected,
+                                 !record.any_abort});
+      }
+    }
+  }
+}
+
+void CommitLedger::FinishSealedRound(Round round) {
+  // Merge the partitions' completion buffers (each ascending by journal
+  // index) back into global journal order: the latency recorder must see
+  // the exact sequence the serial FlushRound would have produced.
+  std::vector<std::size_t> cursor(sealed_parts_, 0);
+  for (;;) {
+    std::uint32_t best = sealed_parts_;
+    std::uint64_t best_index = 0;
+    for (std::uint32_t part = 0; part < sealed_parts_; ++part) {
+      if (cursor[part] >= completions_[part].size()) continue;
+      const std::uint64_t index =
+          completions_[part][cursor[part]].journal_index;
+      if (best == sealed_parts_ || index < best_index) {
+        best = part;
+        best_index = index;
+      }
+    }
+    if (best == sealed_parts_) break;
+    const Completion& completion = completions_[best][cursor[best]++];
+    ++resolved_;
+    if (completion.committed) {
+      ++committed_txns_;
+    } else {
+      ++aborted_txns_;
+    }
+    latency_.Record(completion.injected, round, completion.committed);
+  }
+  for (std::vector<JournalEntry>& shard_journal : sealed_journal_) {
+    shard_journal.clear();
+  }
+  sealed_parts_ = 0;
+}
+
 void CommitLedger::ResolveConfirm(TxnId txn, bool commit, Round round) {
   auto it = records_.find(txn);
   SSHARD_CHECK(it != records_.end() && "confirm for unregistered txn");

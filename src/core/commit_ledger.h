@@ -20,6 +20,22 @@
 // the resolution event — and FlushRound from EndRound, which drains the
 // per-shard journals in shard order so the global bookkeeping stays
 // deterministic regardless of thread scheduling.
+//
+// Pipelined rounds: the journal is double-buffered so the next round's
+// StepShard may keep journaling while pool workers drain the sealed copy.
+// SealJournal swaps the buffers; ResolveSealedPartition applies the
+// remaining-count decrements in parallel; FinishSealedRound folds the
+// counters and latency serially. The parallel stage is partitioned by
+// *transaction id* (txn % parts), NOT by destination: one transaction's
+// subtransactions resolve on several destination shards, so a
+// destination-partitioned drain would race on the shared TxnRecord. With
+// id-residue ownership each record is touched by exactly one worker, in
+// the serial journal-order subsequence, and every completion is tagged
+// with its global journal index so FinishSealedRound can replay the
+// latency recorder in the exact serial order — float accumulation is
+// order-sensitive, and the workers-1-vs-N bit-identity contract covers the
+// latency means. The per-destination sealed journals themselves are only
+// read concurrently.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +83,25 @@ class CommitLedger {
   /// records, counters and latency.
   void FlushRound(Round round);
 
+  /// Serial: swap the active journal with the (drained) sealed one and set
+  /// up `parts` completion buffers for the partitioned resolution. The next
+  /// round's ApplyConfirmDeferred calls land in fresh journals while pool
+  /// workers drain the sealed copy.
+  void SealJournal(std::uint32_t parts);
+
+  /// Parallel-safe: apply the sealed journal entries owned by `part`
+  /// (txn % parts == part, walking destinations in shard order) — record
+  /// decrements only; completions are buffered with their global journal
+  /// index. Each TxnRecord is touched by exactly one partition. No other
+  /// ledger mutation (RegisterInjection included) may overlap the
+  /// Seal..Finish window.
+  void ResolveSealedPartition(std::uint32_t part, Round round);
+
+  /// Serial epilogue: merge the partitions' completion buffers back into
+  /// global journal order and apply counters + latency, then retire the
+  /// sealed journals.
+  void FinishSealedRound(Round round);
+
   bool IsResolved(TxnId txn) const;
 
   /// Transactions injected but not yet fully resolved.
@@ -96,6 +131,15 @@ class CommitLedger {
     bool commit = false;
   };
 
+  /// A transaction fully resolved during a sealed-journal drain, tagged
+  /// with the global (destination-order) index of its resolving entry so
+  /// the serial epilogue can replay completions in exact serial order.
+  struct Completion {
+    std::uint64_t journal_index = 0;
+    Round injected = 0;
+    bool committed = false;
+  };
+
   /// Global (records/counters/latency) half of a confirm application.
   void ResolveConfirm(TxnId txn, bool commit, Round round);
 
@@ -104,6 +148,13 @@ class CommitLedger {
   std::vector<chain::LocalChain> chains_;     // one per shard
   std::vector<Round> last_commit_round_;      // unit-capacity enforcement
   std::vector<std::vector<JournalEntry>> journal_;  // per destination shard
+  /// Double buffer of journal_ (swapped by SealJournal; empty outside a
+  /// Seal..Finish window) plus the drain scratch: per-destination global
+  /// index bases and per-partition completion buffers (reused every round).
+  std::vector<std::vector<JournalEntry>> sealed_journal_;
+  std::vector<std::uint64_t> sealed_prefix_;
+  std::vector<std::vector<Completion>> completions_;
+  std::uint32_t sealed_parts_ = 0;
   std::unordered_map<TxnId, TxnRecord> records_;
   stats::LatencyRecorder latency_;
   std::uint64_t registered_ = 0;

@@ -60,6 +60,12 @@ struct SimConfig {
   /// serial). Any value produces bit-identical results — the decomposition
   /// is deterministic by construction (see core/scheduler.h).
   std::uint32_t worker_threads = 1;
+  /// Pipelined round epilogue (worker_threads > 1 only): EndRound's flush
+  /// runs destination-partitioned on the pool while the next round's
+  /// adversary generation overlaps on the driving thread. Bit-identical to
+  /// the serial epilogue either way — the switch exists for the
+  /// before/after comparison in bench/parallel_rounds --phases.
+  bool pipeline = true;
   /// After `rounds`, keep stepping (without injection) until the scheduler
   /// drains or `drain_cap` extra rounds elapse (0 = no drain phase).
   Round drain_cap = 0;

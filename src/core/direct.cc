@@ -53,6 +53,25 @@ void DirectScheduler::EndRound(Round round) {
   ledger_->FlushRound(round);
 }
 
+void DirectScheduler::SealRound(Round round, std::uint32_t parts) {
+  (void)round;
+  outbox_.Seal();
+  ledger_->SealJournal(parts);
+}
+
+void DirectScheduler::FlushRoundPartition(Round round, std::uint32_t part,
+                                          std::uint32_t parts) {
+  const auto [begin, end] = FlushShardRange(shard_count(), part, parts);
+  outbox_.FlushSealedTo(network_, round, begin, end);
+  ledger_->ResolveSealedPartition(part, round);
+}
+
+void DirectScheduler::FinishRound(Round round) {
+  injected_waiting_ = 0;
+  outbox_.FinishSealedFlush(network_);
+  ledger_->FinishSealedRound(round);
+}
+
 bool DirectScheduler::Idle() const {
   return injected_waiting_ == 0 && !network_.HasPending() &&
          protocol_.Idle();

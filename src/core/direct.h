@@ -39,6 +39,10 @@ class DirectScheduler final : public Scheduler {
   void BeginRound(Round round) override;
   void StepShard(ShardId shard, Round round) override;
   void EndRound(Round round) override;
+  void SealRound(Round round, std::uint32_t parts) override;
+  void FlushRoundPartition(Round round, std::uint32_t part,
+                           std::uint32_t parts) override;
+  void FinishRound(Round round) override;
   ShardId shard_count() const override {
     return network_.metric().shard_count();
   }
@@ -51,6 +55,9 @@ class DirectScheduler final : public Scheduler {
   }
   net::RingMemory NetworkMemory() const override {
     return network_.ring_memory();
+  }
+  net::LaneMemory OutboxMemory() const override {
+    return outbox_.lane_memory();
   }
   net::ShardTraffic ShardTrafficFor(ShardId shard) const override {
     return network_.shard_traffic(shard);

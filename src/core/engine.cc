@@ -1,12 +1,23 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "adversary/strategy_registry.h"
 #include "common/check.h"
 #include "core/scheduler_registry.h"
 
 namespace stableshard::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+inline double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 Simulation::Simulation(const SimConfig& config)
     : config_(config), rng_(config.seed) {
@@ -68,11 +79,22 @@ const cluster::Hierarchy& Simulation::EnsureHierarchy() {
   return *hierarchy_;
 }
 
-void Simulation::StepRound(Round round) {
+void Simulation::Generate(Round round) {
+  const auto start = Clock::now();
+  adversary_->GenerateRound(round, txn_buffer_);
+  generated_round_ = round;
+  phase_times_.generate += SecondsSince(start);
+}
+
+void Simulation::StepRound(Round round, Round generate_round) {
+  auto mark = Clock::now();
   scheduler_->BeginRound(round);
+  phase_times_.begin += SecondsSince(mark);
+
+  mark = Clock::now();
   const ShardId shards = scheduler_->shard_count();
+  Scheduler* scheduler = scheduler_.get();
   if (pool_) {
-    Scheduler* scheduler = scheduler_.get();
     pool_->ParallelFor(shards, [scheduler, round](std::size_t shard) {
       scheduler->StepShard(static_cast<ShardId>(shard), round);
     });
@@ -81,7 +103,33 @@ void Simulation::StepRound(Round round) {
       scheduler_->StepShard(shard, round);
     }
   }
-  scheduler_->EndRound(round);
+  phase_times_.step += SecondsSince(mark);
+
+  if (pool_ && config_.pipeline) {
+    // Pipelined epilogue: seal the round's double buffers, drain them
+    // destination-partitioned on the pool, and overlap the next round's
+    // adversary generation on this thread (it touches only adversary
+    // state). The serial remainder shrinks to FinishRound.
+    mark = Clock::now();
+    const auto parts = static_cast<std::uint32_t>(
+        std::min<std::size_t>(pool_->thread_count(), shards));
+    scheduler_->SealRound(round, parts);
+    pool_->Dispatch(parts, [scheduler, round, parts](std::size_t part) {
+      scheduler->FlushRoundPartition(round, static_cast<std::uint32_t>(part),
+                                     parts);
+    });
+    if (generate_round != kNoRound) Generate(generate_round);
+    pool_->Wait();
+    phase_times_.flush += SecondsSince(mark);
+
+    mark = Clock::now();
+    scheduler_->FinishRound(round);
+    phase_times_.finish += SecondsSince(mark);
+  } else {
+    mark = Clock::now();
+    scheduler_->EndRound(round);
+    phase_times_.finish += SecondsSince(mark);
+  }
 }
 
 SimResult Simulation::Run() {
@@ -100,6 +148,7 @@ SimResult Simulation::Run() {
   // whole run, not just the injection phase (a burst resolved during drain
   // used to vanish from max_pending).
   const auto sample_round_metrics = [&](Round round) {
+    const auto start = Clock::now();
     const std::uint64_t pending = ledger_->pending();
     max_pending = std::max(max_pending, pending);
     pending_per_round.Add(static_cast<double>(pending) /
@@ -108,14 +157,25 @@ SimResult Simulation::Run() {
     if (pending_series_) {
       pending_series_->Record(round, static_cast<double>(pending));
     }
+    phase_times_.sample += SecondsSince(start);
   };
 
+  const auto run_start = Clock::now();
   for (Round round = 0; round < config_.rounds; ++round) {
-    for (txn::Transaction& txn : adversary_->GenerateRound(round)) {
+    // The pipelined epilogue of round - 1 usually pre-generated this
+    // round's transactions (overlapped with its flush); fall back to
+    // generating here on the serial path and for round 0. Injection stays
+    // strictly after the previous round's sampling either way, so the
+    // ledger counters every sample sees match the serial schedule.
+    if (generated_round_ != round) Generate(round);
+    const auto inject_start = Clock::now();
+    for (txn::Transaction& txn : txn_buffer_) {
       ledger_->RegisterInjection(txn);
       scheduler_->Inject(txn);
     }
-    StepRound(round);
+    txn_buffer_.clear();
+    phase_times_.inject += SecondsSince(inject_start);
+    StepRound(round, round + 1 < config_.rounds ? round + 1 : kNoRound);
     sample_round_metrics(round);
   }
 
@@ -128,12 +188,13 @@ SimResult Simulation::Run() {
         drained = true;
         break;
       }
-      StepRound(round);
+      StepRound(round, kNoRound);
       sample_round_metrics(round);
       ++round;
     }
     if (!drained) drained = scheduler_->Idle();
   }
+  phase_times_.total = SecondsSince(run_start);
 
   if (pending_series_) pending_series_->Finish();
 

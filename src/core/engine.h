@@ -8,11 +8,22 @@
 //   3. the scheduler executes one round: BeginRound (serial), StepShard for
 //      every shard — fanned out across the persistent worker pool when
 //      SimConfig::worker_threads > 1, serial otherwise, with bit-identical
-//      results either way — then EndRound (serial);
+//      results either way — then the round epilogue;
 //   4. metrics are sampled (pending transactions, leader queues). Sampling
 //      covers every executed round, drain-phase rounds included — the
 //      per-round averages, max_pending and the pending series describe the
 //      same rounds_executed window the result reports.
+//
+// Pipelined epilogue (worker_threads > 1 and SimConfig::pipeline): instead
+// of the serial EndRound, the engine runs the scheduler's
+// SealRound / FlushRoundPartition / FinishRound triple — the flush drains
+// destination-partitioned on the pool while the driving thread generates
+// the NEXT round's transactions into a reusable buffer (generation touches
+// only adversary state, so the overlap is race-free and invisible to the
+// results). Injection, metric sampling and BeginRound of the next round
+// stay strictly after FinishRound, so the ledger values every sample sees
+// are exactly the serial ones — worker_threads and the pipeline switch
+// never change a single output bit (tests/parallel_engine_test).
 //
 // The engine knows no concrete scheduler and no concrete workload:
 // SimConfig::scheduler names an entry in core::SchedulerRegistry and
@@ -23,8 +34,10 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "adversary/adversary.h"
+#include "common/types.h"
 #include "chain/account_map.h"
 #include "cluster/hierarchy.h"
 #include "common/rng.h"
@@ -37,6 +50,22 @@
 #include "stats/time_series.h"
 
 namespace stableshard::core {
+
+/// Wall-clock decomposition of Run() as seen from the driving thread,
+/// accumulated across all executed rounds (bench/parallel_rounds --phases).
+/// In the pipelined epilogue `generate` happens inside the `flush` window
+/// (it overlaps the pool's partition drain), so the two overlap; in the
+/// serial epilogue `flush` is 0 and `finish` holds the whole EndRound.
+struct PhaseTimes {
+  double generate = 0;  ///< adversary GenerateRound
+  double inject = 0;    ///< RegisterInjection + Scheduler::Inject
+  double begin = 0;     ///< BeginRound
+  double step = 0;      ///< StepShard fan-out (wall time)
+  double flush = 0;     ///< SealRound .. pool Wait (overlaps generate)
+  double finish = 0;    ///< FinishRound (pipelined) or EndRound (serial)
+  double sample = 0;    ///< per-round metric sampling
+  double total = 0;     ///< the whole round loop, drain included
+};
 
 class Simulation {
  public:
@@ -66,9 +95,18 @@ class Simulation {
     return pending_series_.get();
   }
 
+  /// Per-phase wall-clock accounting, populated by Run() (always on — the
+  /// clock reads are noise next to a round's work). Timing never feeds back
+  /// into the simulation, so it cannot perturb results.
+  const PhaseTimes& phase_times() const { return phase_times_; }
+
  private:
   const cluster::Hierarchy& EnsureHierarchy();
-  void StepRound(Round round);
+  /// Generate `round`'s injections into the reusable buffer.
+  void Generate(Round round);
+  /// One full round; when `generate_round` != kNoRound and the pipelined
+  /// epilogue is active, that round's generation overlaps the flush.
+  void StepRound(Round round, Round generate_round);
 
   SimConfig config_;
   Rng rng_;
@@ -81,6 +119,12 @@ class Simulation {
   std::unique_ptr<ThreadPool> pool_;  ///< persistent; worker_threads > 1
   Round series_window_ = 0;
   std::unique_ptr<stats::TimeSeries> pending_series_;
+  /// Reusable injection buffer: holds `generated_round_`'s transactions
+  /// between generation (possibly overlapped with the previous round's
+  /// flush) and injection; capacity persists across rounds.
+  std::vector<txn::Transaction> txn_buffer_;
+  Round generated_round_ = kNoRound;
+  PhaseTimes phase_times_;
   bool ran_ = false;
 };
 

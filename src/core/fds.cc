@@ -145,6 +145,24 @@ void FdsScheduler::EndRound(Round round) {
   ledger_->FlushRound(round);
 }
 
+void FdsScheduler::SealRound(Round round, std::uint32_t parts) {
+  (void)round;
+  outbox_.Seal();
+  ledger_->SealJournal(parts);
+}
+
+void FdsScheduler::FlushRoundPartition(Round round, std::uint32_t part,
+                                       std::uint32_t parts) {
+  const auto [begin, end] = FlushShardRange(shard_count(), part, parts);
+  outbox_.FlushSealedTo(network_, round, begin, end);
+  ledger_->ResolveSealedPartition(part, round);
+}
+
+void FdsScheduler::FinishRound(Round round) {
+  outbox_.FinishSealedFlush(network_);
+  ledger_->FinishSealedRound(round);
+}
+
 void FdsScheduler::RunColoring(const cluster::Cluster& cluster,
                                ShardId leader, Round round) {
   ClusterState& state = cluster_state_[cluster.id];

@@ -26,15 +26,63 @@
 // shard-ordered flush, so `worker_threads = 1` and `worker_threads = N`
 // produce bit-identical results (asserted by tests/parallel_engine_test).
 // Step(round) is the serial convenience driver for tests and examples.
+//
+// Pipelined epilogue. EndRound is itself a serial bottleneck once StepShard
+// is parallel (Amdahl), so the engine's pooled driver replaces it with the
+// equivalent triple
+//
+//   SealRound(round, parts)             serial, cheap — swap the outbox and
+//                                       ledger-journal double buffers.
+//   FlushRoundPartition(round, p, parts) parallel-safe for distinct p —
+//                                       drain partition p of the sealed
+//                                       buffers: deposit outbox items whose
+//                                       *destination* falls in the
+//                                       partition's shard range (each
+//                                       destination ring touched by exactly
+//                                       one worker, per-destination order
+//                                       preserved by construction) and
+//                                       resolve the journal entries the
+//                                       partition owns.
+//   FinishRound(round)                  serial epilogue — fold global
+//                                       counters/latency, retire buffers.
+//
+// The triple must leave every observable bit identical to EndRound(round);
+// the default implementations below make Seal/FlushPartition no-ops and
+// FinishRound delegate to EndRound, so a scheduler that never overrides
+// them is still correct (just unpipelined). Between SealRound and
+// FinishRound the engine may run the adversary's next-round generation on
+// the driving thread — scheduler state is not touched during that window,
+// and Inject/BeginRound of the next round happen strictly after
+// FinishRound.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 
 #include "common/types.h"
 #include "net/network.h"
+#include "net/outbox.h"
 #include "txn/transaction.h"
 
 namespace stableshard::core {
+
+/// Contiguous destination-shard range owned by flush partition `part` of
+/// `parts`: ranges cover [0, shards) disjointly, so per-destination state is
+/// touched by exactly one partition whatever `parts` is — which is why the
+/// partition count never shows in the results.
+inline std::pair<ShardId, ShardId> FlushShardRange(ShardId shards,
+                                                   std::uint32_t part,
+                                                   std::uint32_t parts) {
+  const ShardId chunk = (shards + parts - 1) / parts;
+  const ShardId begin = static_cast<ShardId>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(chunk) * part,
+                              shards));
+  const ShardId end = static_cast<ShardId>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(begin) + chunk,
+                              shards));
+  return {begin, end};
+}
 
 class Scheduler {
  public:
@@ -54,6 +102,20 @@ class Scheduler {
 
   /// Serial epilogue: publish queued sends and ledger bookkeeping.
   virtual void EndRound(Round round) = 0;
+
+  /// Pipelined epilogue (see the class comment). The defaults degrade to a
+  /// fully serial FinishRound == EndRound, which is always correct.
+  virtual void SealRound(Round round, std::uint32_t parts) {
+    (void)round;
+    (void)parts;
+  }
+  virtual void FlushRoundPartition(Round round, std::uint32_t part,
+                                   std::uint32_t parts) {
+    (void)round;
+    (void)part;
+    (void)parts;
+  }
+  virtual void FinishRound(Round round) { EndRound(round); }
 
   /// Number of shards this scheduler operates (== StepShard fan-out).
   virtual ShardId shard_count() const = 0;
@@ -84,6 +146,11 @@ class Scheduler {
   /// Benches use it to report the O(live destinations) memory claim;
   /// schedulers without a network report an empty footprint.
   virtual net::RingMemory NetworkMemory() const { return {}; }
+
+  /// Footprint of the scheduler's outbox lanes (serial phases only) — the
+  /// double-buffered send lanes decay after bursts like the network rings;
+  /// benches report both. Schedulers without an outbox report zeroes.
+  virtual net::LaneMemory OutboxMemory() const { return {}; }
 
   /// Per-shard traffic split of the scheduler's network (leader-bottleneck
   /// forensics). Zeroes when the scheduler keeps no per-shard stats.

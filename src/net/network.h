@@ -43,6 +43,17 @@
 //     synchronous simulation steps every shard every round, which is what
 //     keeps ring slots empty before reuse (DCHECKed per envelope).
 //
+// Partitioned flush (the pipelined EndRound, see net/outbox.h): Deposit is
+// the destination-parallel half of Send — it takes an explicit sequence
+// number and touches only the destination's ring, pending counter and
+// inbound traffic split, so workers owning disjoint destination sets may
+// Deposit concurrently. The sender-side split and the global counters
+// (seq_, stats_, max_in_flight) are folded back serially afterwards via
+// AddSenderTraffic + CommitPartitionedSends, which reproduce exactly the
+// values the per-send updates would have left: within one flush no delivery
+// runs, so in-flight grows monotonically and its peak is attained at the
+// last deposited envelope.
+//
 // Network<Payload> is a class template so each scheduler can use its own
 // message variant without type erasure on the hot path.
 #pragma once
@@ -130,6 +141,58 @@ class Network {
     shard_traffic_[to].payload_in += payload_units;
     ++pending_by_dest_[to];
     // Exact at every Send: deliveries never run concurrently with sends.
+    const std::uint64_t in_flight =
+        stats_.messages_sent -
+        delivered_total_.load(std::memory_order_relaxed);
+    if (in_flight > stats_.max_in_flight) stats_.max_in_flight = in_flight;
+  }
+
+  /// Destination-parallel half of Send (partitioned flush only): queue
+  /// `payload` into `to`'s ring under the caller-assigned global sequence
+  /// number. Touches only rings_[to], pending_by_dest_[to] and the inbound
+  /// half of shard_traffic_[to], so callers owning disjoint destination
+  /// sets may run concurrently. The caller must hand out seq values that
+  /// continue next_seq() in the serial flush order and finish the flush
+  /// with AddSenderTraffic + CommitPartitionedSends before any other
+  /// network call.
+  void Deposit(ShardId from, ShardId to, Round now, std::uint64_t seq,
+               Payload payload, std::uint64_t payload_units = 1) {
+    SSHARD_DCHECK(from < shard_count_);
+    SSHARD_DCHECK(to < shard_count_);
+    const Distance d = from == to ? 1 : metric_->distance(from, to);
+    const Round deliver = now + d;
+    std::vector<std::vector<Envelope>>& ring = rings_[to];
+    const std::size_t needed =
+        std::min<std::size_t>(static_cast<std::size_t>(d) + 2, slot_count_);
+    if (ring.size() < needed) GrowRing(ring, needed);
+    ring[deliver % ring.size()].push_back(
+        Envelope{from, to, now, deliver, seq, std::move(payload)});
+    ++shard_traffic_[to].messages_in;
+    shard_traffic_[to].payload_in += payload_units;
+    ++pending_by_dest_[to];
+  }
+
+  /// First unassigned global sequence number — the base for a partitioned
+  /// flush (serial phases only).
+  std::uint64_t next_seq() const { return seq_; }
+
+  /// Serial epilogue of a partitioned flush: fold one sender's outbound
+  /// traffic split (Deposit only updates the destination side).
+  void AddSenderTraffic(ShardId from, std::uint64_t messages,
+                        std::uint64_t payload_units) {
+    SSHARD_DCHECK(from < shard_count_);
+    shard_traffic_[from].messages_out += messages;
+    shard_traffic_[from].payload_out += payload_units;
+  }
+
+  /// Serial epilogue of a partitioned flush: advance the sequence counter
+  /// past the deposited envelopes and fold the global stats. Equals the
+  /// per-send accounting because in-flight only grows during a flush.
+  void CommitPartitionedSends(std::uint64_t messages,
+                              std::uint64_t payload_units) {
+    seq_ += messages;
+    stats_.messages_sent += messages;
+    stats_.payload_units += payload_units;
     const std::uint64_t in_flight =
         stats_.messages_sent -
         delivered_total_.load(std::memory_order_relaxed);

@@ -94,6 +94,75 @@ TEST_F(CommitLedgerTest, LatencyRecordedAtLastSub) {
   EXPECT_DOUBLE_EQ(ledger_.latency().average_latency(), 21.0);
 }
 
+TEST_F(CommitLedgerTest, SealedJournalMatchesSerialFlush) {
+  // Two identical deferred-confirm rounds: one drained by the serial
+  // FlushRound, the other by the sealed-journal triple with 3 partitions
+  // applied out of order. Every counter and the (order-sensitive) latency
+  // mean must agree bit-for-bit.
+  CommitLedger serial(map_, 1000);
+  CommitLedger pipelined(map_, 1000);
+
+  const auto a = factory_.MakeTouch(0, /*injected=*/0, {0, 1, 2});
+  const auto b = factory_.MakeTouch(1, /*injected=*/1, {3});
+  const auto c = factory_.MakeTouch(2, /*injected=*/1, {1, 3});
+  for (CommitLedger* ledger : {&serial, &pipelined}) {
+    for (const auto* txn : {&a, &b, &c}) {
+      ledger->RegisterInjection(*txn);
+    }
+    // Round 4: a fully commits, b aborts, c resolves only its shard-3 sub
+    // (with an abort vote) — c stays pending into the next round.
+    for (const auto& sub : a.subs()) {
+      ledger->ApplyConfirmDeferred(a.id(), sub, /*commit=*/true, 4);
+    }
+    ledger->ApplyConfirmDeferred(b.id(), b.subs()[0], /*commit=*/false, 4);
+    ledger->ApplyConfirmDeferred(c.id(), c.subs()[1], /*commit=*/false, 4);
+  }
+
+  serial.FlushRound(4);
+  pipelined.SealJournal(/*parts=*/3);
+  pipelined.ResolveSealedPartition(2, 4);
+  pipelined.ResolveSealedPartition(0, 4);
+  pipelined.ResolveSealedPartition(1, 4);
+  pipelined.FinishSealedRound(4);
+
+  // Round 5: c's remaining sub arrives and completes the abort.
+  for (CommitLedger* ledger : {&serial, &pipelined}) {
+    ledger->ApplyConfirmDeferred(c.id(), c.subs()[0], /*commit=*/false, 5);
+  }
+  serial.FlushRound(5);
+  pipelined.SealJournal(/*parts=*/2);
+  pipelined.ResolveSealedPartition(1, 5);
+  pipelined.ResolveSealedPartition(0, 5);
+  pipelined.FinishSealedRound(5);
+
+  EXPECT_EQ(serial.resolved(), pipelined.resolved());
+  EXPECT_EQ(serial.committed_txns(), pipelined.committed_txns());
+  EXPECT_EQ(serial.aborted_txns(), pipelined.aborted_txns());
+  EXPECT_EQ(serial.pending(), pipelined.pending());
+  EXPECT_EQ(serial.committed_txns(), 1u);
+  EXPECT_EQ(serial.aborted_txns(), 2u);
+  EXPECT_TRUE(pipelined.IsResolved(a.id()));
+  EXPECT_TRUE(pipelined.IsResolved(b.id()));
+  EXPECT_TRUE(pipelined.IsResolved(c.id()));
+  EXPECT_DOUBLE_EQ(serial.latency().average_latency(),
+                   pipelined.latency().average_latency());
+  EXPECT_DOUBLE_EQ(serial.latency().max_latency(),
+                   pipelined.latency().max_latency());
+}
+
+TEST_F(CommitLedgerTest, SealedJournalSupportsMorePartitionsThanEntries) {
+  const auto txn = factory_.MakeTouch(0, 0, {0});
+  ledger_.RegisterInjection(txn);
+  ledger_.ApplyConfirmDeferred(txn.id(), txn.subs()[0], /*commit=*/true, 1);
+  ledger_.SealJournal(/*parts=*/8);
+  for (std::uint32_t part = 0; part < 8; ++part) {
+    ledger_.ResolveSealedPartition(part, 1);
+  }
+  ledger_.FinishSealedRound(1);
+  EXPECT_TRUE(ledger_.IsResolved(txn.id()));
+  EXPECT_EQ(ledger_.committed_txns(), 1u);
+}
+
 TEST_F(CommitLedgerTest, MixedDecisionCountsAsAborted) {
   const auto txn = factory_.MakeTouch(0, 0, {0, 1});
   ledger_.RegisterInjection(txn);

@@ -419,6 +419,132 @@ TEST(Outbox, FlushesLanesInShardOrder) {
   EXPECT_EQ(delivered[3].payload, 21);
 }
 
+TEST(Outbox, PartitionedFlushMatchesSerial) {
+  // Same sends through the serial Flush and through the pipelined triple
+  // (sealed, drained in two destination partitions applied in REVERSE
+  // order): delivery order, per-envelope seqs and every stat must agree.
+  LineMetric metric(4);
+  Network<int> serial_net(metric);
+  Network<int> pipelined_net(metric);
+  OutboxSet<int> serial_outbox(4);
+  OutboxSet<int> pipelined_outbox(4);
+  const auto send_all = [](OutboxSet<int>& outbox) {
+    outbox.Send(2, 0, 20);
+    outbox.Send(0, 1, 1);
+    outbox.Send(2, 3, 23, /*payload_units=*/3);
+    outbox.Send(1, 3, 13);
+    outbox.Send(3, 3, 33, /*payload_units=*/2);
+  };
+  send_all(serial_outbox);
+  send_all(pipelined_outbox);
+
+  serial_outbox.Flush(serial_net, /*now=*/5);
+  pipelined_outbox.Seal();
+  // Reverse partition order: per-destination order must not care.
+  pipelined_outbox.FlushSealedTo(pipelined_net, /*now=*/5, 2, 4);
+  pipelined_outbox.FlushSealedTo(pipelined_net, /*now=*/5, 0, 2);
+  pipelined_outbox.FinishSealedFlush(pipelined_net);
+  EXPECT_TRUE(pipelined_outbox.Empty());
+
+  EXPECT_EQ(serial_net.stats().messages_sent,
+            pipelined_net.stats().messages_sent);
+  EXPECT_EQ(serial_net.stats().payload_units,
+            pipelined_net.stats().payload_units);
+  EXPECT_EQ(serial_net.stats().max_in_flight,
+            pipelined_net.stats().max_in_flight);
+  for (ShardId shard = 0; shard < 4; ++shard) {
+    EXPECT_EQ(serial_net.shard_traffic(shard).messages_in,
+              pipelined_net.shard_traffic(shard).messages_in);
+    EXPECT_EQ(serial_net.shard_traffic(shard).messages_out,
+              pipelined_net.shard_traffic(shard).messages_out);
+    EXPECT_EQ(serial_net.shard_traffic(shard).payload_in,
+              pipelined_net.shard_traffic(shard).payload_in);
+    EXPECT_EQ(serial_net.shard_traffic(shard).payload_out,
+              pipelined_net.shard_traffic(shard).payload_out);
+    EXPECT_EQ(serial_net.pending_for(shard),
+              pipelined_net.pending_for(shard));
+  }
+  // Drain both across the whole delivery horizon: the seq-merged global
+  // order must be identical envelope by envelope.
+  for (Round now = 6; now < 10; ++now) {
+    const auto expected = serial_net.Deliver(now);
+    const auto actual = pipelined_net.Deliver(now);
+    ASSERT_EQ(expected.size(), actual.size()) << "round " << now;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].payload, actual[i].payload);
+      EXPECT_EQ(expected[i].seq, actual[i].seq);
+      EXPECT_EQ(expected[i].from, actual[i].from);
+      EXPECT_EQ(expected[i].to, actual[i].to);
+    }
+  }
+}
+
+TEST(Outbox, DoubleBufferAcceptsSendsWhileSealedDrains) {
+  // Round r is sealed; round r+1's sends land in the fresh active buffer
+  // and are not disturbed by the sealed drain.
+  UniformMetric metric(2);
+  Network<int> network(metric);
+  OutboxSet<int> outbox(2);
+  outbox.Send(0, 1, 100);
+  outbox.Seal();
+  outbox.Send(1, 0, 200);  // next round, while sealed buffer undrained
+  EXPECT_FALSE(outbox.Empty());
+  outbox.FlushSealedTo(network, /*now=*/0, 0, 2);
+  outbox.FinishSealedFlush(network);
+  EXPECT_FALSE(outbox.Empty());  // the round r+1 send is still queued
+  outbox.Seal();
+  outbox.FlushSealedTo(network, /*now=*/1, 0, 2);
+  outbox.FinishSealedFlush(network);
+  EXPECT_TRUE(outbox.Empty());
+
+  const auto first = network.Deliver(1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].payload, 100);
+  const auto second = network.Deliver(2);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].payload, 200);
+}
+
+TEST(Outbox, LaneShrinkReleasesBurstCapacity) {
+  UniformMetric metric(2);
+  Network<int> network(metric);
+  OutboxSet<int> outbox(2);
+
+  // One burst round: lane 0 swells far past steady state.
+  const std::size_t kBurst = 4096;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    outbox.Send(0, 1, static_cast<int>(i));
+  }
+  outbox.Flush(network, /*now=*/0);
+  network.Deliver(1);
+  const LaneMemory after_burst = outbox.lane_memory();
+  EXPECT_GE(after_burst.high_water_items, kBurst);
+  EXPECT_GT(after_burst.capacity_bytes, 0u);
+
+  // Quiet rounds: the decayed high-water mark falls and capacity is
+  // released instead of staying pinned at the burst peak forever.
+  for (Round round = 1; round < 60; ++round) {
+    outbox.Send(0, 1, 1);
+    outbox.Flush(network, round);
+    network.Deliver(round + 1);
+  }
+  const LaneMemory settled = outbox.lane_memory();
+  EXPECT_LT(settled.capacity_bytes, after_burst.capacity_bytes / 4);
+  EXPECT_LT(settled.high_water_items, 16u);
+  EXPECT_EQ(settled.queued_items, 0u);
+}
+
+TEST(Outbox, LaneMemoryCountsQueuedItems) {
+  OutboxSet<int> outbox(3);
+  EXPECT_EQ(outbox.lane_memory().queued_items, 0u);
+  outbox.Send(0, 1, 7);
+  outbox.Send(2, 0, 9);
+  const LaneMemory memory = outbox.lane_memory();
+  EXPECT_EQ(memory.queued_items, 2u);
+  EXPECT_GE(memory.lanes_with_capacity, 2u);
+  EXPECT_GT(memory.capacity_bytes, 0u);
+}
+
 TEST(TopologyFactory, ParseRoundTrip) {
   for (const auto kind :
        {TopologyKind::kUniform, TopologyKind::kLine, TopologyKind::kRing,

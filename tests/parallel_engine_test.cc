@@ -1,10 +1,13 @@
 // Shard-parallel round loop tests: worker_threads = N must be bit-identical
 // to worker_threads = 1 for every scheduler (the decomposition contract of
-// core/scheduler.h), and parallel runs must satisfy the same drained-run
-// invariants as serial ones.
+// core/scheduler.h), the pipelined epilogue (destination-partitioned flush
+// + double-buffered outbox/journal + overlapped adversary generation) must
+// be bit-identical to the serial EndRound, and parallel runs must satisfy
+// the same drained-run invariants as serial ones.
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 
 #include "core/engine.h"
 #include "sim_test_util.h"
@@ -19,6 +22,16 @@ using test::ExpectBitIdenticalResults;
 using test::ExpectDrainedRunInvariants;
 using test::RunWithWorkers;
 using test::SmallConfig;
+
+/// Run with an explicit pipelined-epilogue switch (RunWithWorkers leaves
+/// the default, which is pipelined).
+SimResult RunPipelined(SimConfig config, std::uint32_t workers,
+                       bool pipeline) {
+  config.worker_threads = workers;
+  config.pipeline = pipeline;
+  Simulation sim(config);
+  return sim.Run();
+}
 
 class ParallelDeterminism
     : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
@@ -46,6 +59,84 @@ INSTANTIATE_TEST_SUITE_P(
       return std::get<0>(info.param) + "_seed" +
              std::to_string(std::get<1>(info.param));
     });
+
+// Pipelined-vs-serial bit-identity across the scheduler x strategy matrix:
+// for every combination, workers = 1 (serial epilogue, no pool), workers =
+// 4 with the pipelined epilogue and workers = 4 with it forced off must
+// produce the same SimResult down to the last float bit.
+class PipelinedMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(PipelinedMatrix, PipelinedAndSerialEpiloguesAgree) {
+  const auto& [scheduler, strategy] = GetParam();
+  SimConfig config = SmallConfig(scheduler);
+  config.strategy = strategy;
+  config.rounds = 300;
+  config.drain_cap = 20000;
+  const SimResult serial = RunWithWorkers(config, 1);
+  const SimResult pipelined = RunPipelined(config, 4, /*pipeline=*/true);
+  const SimResult unpipelined = RunPipelined(config, 4, /*pipeline=*/false);
+  ExpectBitIdenticalResults(serial, pipelined);
+  ExpectBitIdenticalResults(serial, unpipelined);
+  EXPECT_GT(serial.injected, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulerStrategy, PipelinedMatrix,
+    ::testing::Combine(
+        ::testing::Values(std::string("bds"), std::string("fds"),
+                          std::string("direct")),
+        ::testing::Values(std::string("uniform_random"),
+                          std::string("hotspot"),
+                          std::string("hot_destination"),
+                          std::string("pairwise_conflict"))),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>&
+           info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+TEST(ParallelEngine, PipelinedBurstAndDrainIdentical) {
+  // A loaded burst followed by a long drain exercises both epilogue
+  // regimes: heavy flush rounds (overlapped generation still running) and
+  // drain rounds (no generation to overlap at all). Invariants must hold
+  // and the pipeline must not perturb a bit.
+  SimConfig config = SmallConfig("fds");
+  config.rho = 0.02;
+  config.burstiness = 400;
+  config.rounds = 120;
+  config.drain_cap = 60000;
+  const SimResult serial = RunWithWorkers(config, 1);
+  const SimResult pipelined = RunPipelined(config, 8, /*pipeline=*/true);
+  ExpectBitIdenticalResults(serial, pipelined);
+
+  config.worker_threads = 8;
+  Simulation sim(config);
+  const SimResult result = sim.Run();
+  EXPECT_GT(result.injected, 0u);
+  ExpectDrainedRunInvariants(sim, result, /*same_round_atomicity=*/false);
+}
+
+TEST(ParallelEngine, PipelinedHandoffHammer) {
+  // TSan target: maximize contention on the double-buffered handoff — an
+  // oversubscribed pool (8 workers, 1..few cores, 8 shards) so flush
+  // partitions, the StepShard fan-out of the next round and the overlapped
+  // generation interleave as wildly as the OS allows, across many rounds
+  // and a hot workload that keeps every lane and journal busy.
+  for (const std::uint64_t seed : {11ull, 12ull}) {
+    SimConfig config = SmallConfig("fds");
+    config.shards = 8;
+    config.accounts = 8;
+    config.rho = 0.4;
+    config.burstiness = 200;
+    config.rounds = 400;
+    config.drain_cap = 20000;
+    config.seed = seed;
+    const SimResult serial = RunWithWorkers(config, 1);
+    const SimResult hammered = RunPipelined(config, 8, /*pipeline=*/true);
+    ExpectBitIdenticalResults(serial, hammered);
+  }
+}
 
 TEST(ParallelEngine, DrainedInvariantsHoldUnderThreads) {
   for (const char* scheduler : {"bds", "fds"}) {
