@@ -26,6 +26,18 @@
 //   build/bench/parallel_rounds --grid [--rounds=400] [--rho=0.15]
 //       [--b=3000] [--workers=8] [--radius=8] [--json=BENCH_scaling.json]
 //
+// Backpressure head-to-head (the hot-destination load-shedding record):
+// fds vs the backpressure admission-control wrapper on
+// --strategy=hot_destination across Zipf exponents, sustained overload
+// (no one-shot burst — admission control cannot see a burst that lands
+// before any traffic exists). Asserts the accounting identity, that every
+// run drains, backpressure bit-identity across workers 1/4 x pipeline
+// on/off, and that the leader-queue peak is strictly below fds's at every
+// theta >= 1.0:
+//   build/bench/parallel_rounds --backpressure [--smoke] [--rounds=800]
+//       [--rho=0.35] [--shards=64] [--bp-high=48] [--bp-low=12]
+//       [--json=BENCH_backpressure.json]
+//
 // The grid runs s in {256, 512, 1024} on line (fds), ring (fds) and
 // uniform (bds) topologies with burst b = 3000 — the non-uniform cells use
 // the radius-bounded local workload (see the note at the config) — checks
@@ -50,6 +62,7 @@
 #include "bench_util.h"
 #include "common/check.h"
 #include "common/flags.h"
+#include "consensus/backpressure_scheduler.h"
 #include "core/engine.h"
 
 namespace {
@@ -110,11 +123,13 @@ double SerialShare(const core::PhaseTimes& phases) {
 bool Identical(const core::SimResult& a, const core::SimResult& b) {
   return a.injected == b.injected && a.committed == b.committed &&
          a.aborted == b.aborted && a.unresolved == b.unresolved &&
-         a.max_pending == b.max_pending && a.messages == b.messages &&
+         a.max_pending == b.max_pending && a.spill_peak == b.spill_peak &&
+         a.messages == b.messages &&
          a.payload_units == b.payload_units &&
          a.rounds_executed == b.rounds_executed && a.drained == b.drained &&
          a.avg_pending_per_shard == b.avg_pending_per_shard &&
          a.avg_leader_queue == b.avg_leader_queue &&
+         a.max_leader_queue == b.max_leader_queue &&
          a.avg_latency == b.avg_latency && a.max_latency == b.max_latency &&
          a.p50_latency == b.p50_latency && a.p99_latency == b.p99_latency;
 }
@@ -409,6 +424,218 @@ int RunPhases(const Flags& flags) {
   return 0;
 }
 
+/// One side of the backpressure head-to-head: the SimResult plus the
+/// admission-control introspection (zero for plain fds).
+struct BackpressureRun {
+  core::SimResult result;
+  std::uint64_t deferred = 0;
+  std::uint64_t readmitted = 0;
+  std::uint64_t hot_transitions = 0;
+};
+
+BackpressureRun RunHotDestination(core::SimConfig config,
+                                  std::uint32_t workers,
+                                  bool pipeline = true) {
+  config.worker_threads = workers;
+  config.pipeline = pipeline;
+  core::Simulation sim(config);
+  BackpressureRun run;
+  run.result = sim.Run();
+  if (const auto* backpressure =
+          dynamic_cast<const consensus::BackpressureScheduler*>(
+              &sim.scheduler())) {
+    run.deferred = backpressure->deferred_total();
+    run.readmitted = backpressure->readmitted_total();
+    run.hot_transitions = backpressure->hot_transitions();
+  }
+  return run;
+}
+
+int RunBackpressure(const Flags& flags) {
+  const bool smoke = flags.GetBool("smoke", false);
+  const auto rounds =
+      static_cast<Round>(flags.GetUint("rounds", smoke ? 250 : 800));
+  const double rho = flags.GetDouble("rho", 0.35);
+  const auto shards = static_cast<ShardId>(flags.GetUint("shards", 64));
+  const std::uint64_t seed = flags.GetUint("seed", 42);
+  const std::uint64_t bp_high = flags.GetUint("bp-high", 48);
+  const std::uint64_t bp_low = flags.GetUint("bp-low", 12);
+  const std::string json_path =
+      flags.GetString("json", "BENCH_backpressure.json");
+  if (!flags.FinishReads()) return 2;
+  // Same contract as simulate_cli: watermark typos are input errors
+  // (exit 2), never reach the scheduler constructor's aborting check.
+  if (!core::ValidateBackpressureWatermarks(bp_low, bp_high)) return 2;
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "--json: cannot open '%s' for writing\n",
+                 json_path.c_str());
+    return 2;
+  }
+
+  // Sustained overload on the line topology, no one-shot burst: the
+  // leader queue must build from steady Zipf-skewed arrivals for
+  // injection-side shedding to have anything to shed.
+  core::SimConfig base;
+  base.scheduler = "fds";
+  base.topology = net::TopologyKind::kLine;
+  base.hierarchy = bench::HierarchyFor(base.topology);
+  base.shards = shards;
+  base.accounts = shards;
+  base.account_assignment = core::AccountAssignment::kRoundRobin;
+  base.k = 8;
+  base.rho = rho;
+  base.burst_round = kNoRound;
+  base.strategy = "hot_destination";
+  base.rounds = rounds;
+  base.drain_cap = 200000;
+  base.seed = seed;
+  base.backpressure_high = bp_high;
+  base.backpressure_low = bp_low;
+
+  const std::vector<double> thetas =
+      smoke ? std::vector<double>{1.2}
+            : std::vector<double>{0.0, 0.5, 1.0, 1.5};
+
+  std::printf(
+      "parallel_rounds backpressure: fds vs backpressure (high=%llu "
+      "low=%llu) on hot_destination, s=%u, rho=%.2f, %llu rounds + drain\n\n",
+      static_cast<unsigned long long>(bp_high),
+      static_cast<unsigned long long>(bp_low), shards, rho,
+      static_cast<unsigned long long>(rounds));
+  std::printf("%6s %13s | %10s %10s %10s | %9s %10s %9s | %9s %8s\n",
+              "zipf", "scheduler", "ldrq_avg", "ldrq_peak", "spill_pk",
+              "deferred", "committed", "avg_lat", "p99_lat", "drained");
+
+  struct Row {
+    double theta = 0;
+    const char* scheduler = "";
+    BackpressureRun run;
+  };
+  std::vector<Row> rows;
+  bool all_ok = true;
+  bool peaks_below = true;
+  bool commits_match = true;
+  for (const double theta : thetas) {
+    core::SimConfig config = base;
+    config.zipf_theta = theta;
+    BackpressureRun fds_run, bp_run;
+    for (const char* scheduler : {"fds", "backpressure"}) {
+      config.scheduler = scheduler;
+      const BackpressureRun run = RunHotDestination(config, 1);
+      const core::SimResult& r = run.result;
+      const bool identity =
+          r.injected == r.committed + r.aborted + r.unresolved;
+      all_ok = all_ok && identity && r.drained && r.unresolved == 0;
+      std::printf(
+          "%6.2f %13s | %10.2f %10.1f %10llu | %9llu %10llu %9.1f | %9.0f "
+          "%8s\n",
+          theta, scheduler, r.avg_leader_queue, r.max_leader_queue,
+          static_cast<unsigned long long>(r.spill_peak),
+          static_cast<unsigned long long>(run.deferred),
+          static_cast<unsigned long long>(r.committed), r.avg_latency,
+          r.p99_latency, r.drained ? "yes" : "NO");
+      rows.push_back({theta, scheduler, run});
+      if (std::string(scheduler) == "fds") {
+        fds_run = run;
+      } else {
+        bp_run = run;
+      }
+    }
+    // The printed claim "commits exactly what fds commits" is asserted,
+    // not just recorded: both sides drain with zero aborts here, so any
+    // admission drop/duplication shows up as a committed mismatch.
+    commits_match =
+        commits_match && bp_run.result.committed == fds_run.result.committed;
+    // The acceptance bar: under real skew the shedding must strictly cut
+    // the hot leader's queue peak (milder thetas are throughput
+    // no-regression cells, though the gate still defers some admissions
+    // when the overloaded baseline crosses the watermarks).
+    if (theta >= 1.0) {
+      peaks_below = peaks_below && bp_run.result.max_leader_queue <
+                                       fds_run.result.max_leader_queue;
+    }
+  }
+
+  // Determinism spot-check at the highest theta: workers 1 vs 4, pipeline
+  // on and off, all bit-identical for the admission-control wrapper.
+  core::SimConfig config = base;
+  config.scheduler = "backpressure";
+  config.zipf_theta = thetas.back();
+  config.rounds = std::min<Round>(rounds, 300);
+  const BackpressureRun serial = RunHotDestination(config, 1);
+  const bool identical =
+      Identical(serial.result, RunHotDestination(config, 4, true).result) &&
+      Identical(serial.result, RunHotDestination(config, 4, false).result);
+
+  std::fprintf(json,
+               "{\n  \"bench\": \"parallel_rounds_backpressure\",\n"
+               "  \"strategy\": \"hot_destination\",\n"
+               "  \"topology\": \"line\",\n"
+               "  \"shards\": %u,\n  \"rho\": %.4f,\n  \"rounds\": %llu,\n"
+               "  \"bp_high\": %llu,\n  \"bp_low\": %llu,\n"
+               "  \"workers_1_vs_4_pipeline_on_off_identical\": %s,\n"
+               "  \"rows\": [\n",
+               shards, rho, static_cast<unsigned long long>(rounds),
+               static_cast<unsigned long long>(bp_high),
+               static_cast<unsigned long long>(bp_low),
+               identical ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const core::SimResult& r = row.run.result;
+    std::fprintf(
+        json,
+        "    {\"zipf_theta\": %.2f, \"scheduler\": \"%s\",\n"
+        "     \"avg_leader_queue\": %.6f, \"max_leader_queue\": %.6f,\n"
+        "     \"spill_peak\": %llu, \"deferred\": %llu,\n"
+        "     \"readmitted\": %llu, \"hot_transitions\": %llu,\n"
+        "     \"injected\": %llu, \"committed\": %llu, \"aborted\": %llu,\n"
+        "     \"unresolved\": %llu, \"avg_latency\": %.6f,\n"
+        "     \"p99_latency\": %.6f, \"max_pending\": %llu,\n"
+        "     \"messages\": %llu, \"drained\": %s}%s\n",
+        row.theta, row.scheduler, r.avg_leader_queue, r.max_leader_queue,
+        static_cast<unsigned long long>(r.spill_peak),
+        static_cast<unsigned long long>(row.run.deferred),
+        static_cast<unsigned long long>(row.run.readmitted),
+        static_cast<unsigned long long>(row.run.hot_transitions),
+        static_cast<unsigned long long>(r.injected),
+        static_cast<unsigned long long>(r.committed),
+        static_cast<unsigned long long>(r.aborted),
+        static_cast<unsigned long long>(r.unresolved), r.avg_latency,
+        r.p99_latency, static_cast<unsigned long long>(r.max_pending),
+        static_cast<unsigned long long>(r.messages),
+        r.drained ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+
+  SSHARD_CHECK(all_ok &&
+               "a run broke the accounting identity or failed to drain");
+  SSHARD_CHECK(identical &&
+               "backpressure changed a SimResult across workers/pipeline — "
+               "determinism bug");
+  SSHARD_CHECK(commits_match &&
+               "backpressure committed a different count than fds — "
+               "admissions were lost or duplicated");
+  SSHARD_CHECK(peaks_below &&
+               "backpressure did not cut the leader-queue peak at "
+               "theta >= 1.0");
+  std::printf(
+      "\nall runs drained with the accounting identity intact; "
+      "backpressure bit-identical workers 1/4 x pipeline on/off; "
+      "leader-queue peak strictly below fds at every theta >= 1.0; "
+      "table written to %s\n"
+      "Reading: every cell commits exactly what fds commits — shedding "
+      "trades admission latency (avg/p99 up), never throughput. Under "
+      "real skew (theta >= 1) that buys a strictly lower leader-queue "
+      "peak; at mild skew the gate still flaps on the saturated baseline "
+      "(nonzero deferred/hot_transitions) for little peak gain, which is "
+      "the case for sizing the watermarks above the workload's normal "
+      "backlog.\n",
+      json_path.c_str());
+  return 0;
+}
+
 int RunCheck(const Flags& flags) {
   const auto rounds = static_cast<Round>(flags.GetUint("rounds", 300));
   const std::uint64_t seed = flags.GetUint("seed", 42);
@@ -416,7 +643,7 @@ int RunCheck(const Flags& flags) {
 
   // Small configs, every scheduler: workers 1 (serial epilogue) vs 4 with
   // the pipelined epilogue on and off must agree bit-for-bit.
-  for (const char* scheduler : {"bds", "fds", "direct"}) {
+  for (const char* scheduler : {"bds", "fds", "direct", "backpressure"}) {
     core::SimConfig config;
     config.scheduler = scheduler;
     config.shards = 32;
@@ -436,7 +663,7 @@ int RunCheck(const Flags& flags) {
     const TimedRun unpipelined = RunOnce(config, 4, /*pipeline=*/false);
     const bool identical = Identical(serial.result, pipelined.result) &&
                            Identical(serial.result, unpipelined.result);
-    std::printf("check %-6s: injected=%llu committed=%llu %s\n", scheduler,
+    std::printf("check %-12s: injected=%llu committed=%llu %s\n", scheduler,
                 static_cast<unsigned long long>(serial.result.injected),
                 static_cast<unsigned long long>(serial.result.committed),
                 identical ? "identical" : "MISMATCH");
@@ -444,7 +671,7 @@ int RunCheck(const Flags& flags) {
                  "pipeline/worker_threads changed a SimResult — determinism "
                  "bug");
   }
-  std::printf("determinism check passed (3 schedulers, workers 1 vs 4, "
+  std::printf("determinism check passed (4 schedulers, workers 1 vs 4, "
               "pipeline on/off)\n");
   return 0;
 }
@@ -520,6 +747,7 @@ int main(int argc, char** argv) {
   }
   if (flags.GetBool("grid", false)) return RunGrid(flags);
   if (flags.GetBool("phases", false)) return RunPhases(flags);
+  if (flags.GetBool("backpressure", false)) return RunBackpressure(flags);
   if (flags.GetBool("check", false)) return RunCheck(flags);
   return RunSingle(flags);
 }

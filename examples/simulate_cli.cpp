@@ -22,8 +22,9 @@ using namespace stableshard;
 
 constexpr const char* kUsage = R"(simulate_cli — StableShard simulation runner
 
-  --scheduler  any registered scheduler (bds | fds | direct in-tree;
-               default bds — unknown names print the registry)
+  --scheduler  any registered scheduler (backpressure | bds | fds |
+               direct in-tree; default bds — unknown names print the
+               registry)
   --topology   uniform | line | ring | grid | random_geo   (default: uniform
                for bds, line otherwise)
   --hierarchy  shifted | cover               (fds only; default shifted)
@@ -44,6 +45,14 @@ constexpr const char* kUsage = R"(simulate_cli — StableShard simulation runner
   --coloring   greedy | welsh_powell | dsatur (default greedy)
   --pinned     use the conservative pinned commit mode (fds)
   --no-reschedule  disable FDS rescheduling periods
+  --bp-high    backpressure scheduler: mark a destination hot when its
+               congestion signal — max(round inflow, standing backlog:
+               undelivered messages + led-cluster queues) — reaches this
+               (default 64)
+  --bp-low     backpressure scheduler: clear a hot destination when the
+               signal falls back to this (default 16; must be
+               <= --bp-high)
+  --burst-round  round at which the b-sized burst fires (default 0)
   --drain      extra rounds to drain after injection stops (default 0)
   --workers    threads driving the shard-parallel round loop (default 1;
                any value gives bit-identical results)
@@ -93,6 +102,8 @@ bool ParseConfig(const Flags& flags, core::SimConfig* config) {
   config->k = static_cast<std::uint32_t>(flags.GetUint("k", 8));
   config->rho = flags.GetDouble("rho", 0.1);
   config->burstiness = flags.GetDouble("b", 1000);
+  config->burst_round =
+      static_cast<Round>(flags.GetUint("burst-round", config->burst_round));
   if (flags.GetBool("no-burst", false)) config->burst_round = kNoRound;
   config->rounds = static_cast<Round>(flags.GetUint("rounds", 25000));
   config->drain_cap = static_cast<Round>(flags.GetUint("drain", 0));
@@ -102,6 +113,17 @@ bool ParseConfig(const Flags& flags, core::SimConfig* config) {
   config->abort_probability = flags.GetDouble("abort-prob", 0.0);
   config->fds_pipelined = !flags.GetBool("pinned", false);
   config->fds_reschedule = !flags.GetBool("no-reschedule", false);
+
+  config->backpressure_high =
+      flags.GetUint("bp-high", config->backpressure_high);
+  config->backpressure_low =
+      flags.GetUint("bp-low", config->backpressure_low);
+  // Validated here (exit 2), not just in the scheduler constructor
+  // (abort): a CLI typo is an input error, not an invariant violation.
+  if (!core::ValidateBackpressureWatermarks(config->backpressure_low,
+                                            config->backpressure_high)) {
+    return false;
+  }
 
   config->local_radius =
       static_cast<Distance>(flags.GetUint("radius", config->local_radius));
@@ -168,7 +190,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.unresolved),
               static_cast<unsigned long long>(result.max_pending));
   std::printf("avg pending / shard : %.3f\n", result.avg_pending_per_shard);
-  std::printf("avg leader queue    : %.3f\n", result.avg_leader_queue);
+  std::printf("avg leader queue    : %.3f (peak %.1f)\n",
+              result.avg_leader_queue, result.max_leader_queue);
+  if (result.spill_peak > 0) {
+    std::printf("backpressure spill  : peak %llu parked\n",
+                static_cast<unsigned long long>(result.spill_peak));
+  }
   std::printf("latency avg/p50/p99/max : %.1f / %.0f / %.0f / %.0f rounds\n",
               result.avg_latency, result.p50_latency, result.p99_latency,
               result.max_latency);

@@ -16,6 +16,17 @@
 // Builders receive the validated SimConfig plus a StrategyDeps bundle of
 // engine-owned runtime services (account partition, shard metric, and a
 // seeded Rng for construction-time randomness).
+//
+// Contract: Register must only run during static initialization or before
+// any Simulation is constructed (the registry is not locked); duplicate
+// names die. Build runs on the Simulation constructor's thread; the built
+// Strategy is driven exclusively from serial engine phases (GenerateRound
+// on the driving thread — possibly overlapped with the pipelined flush,
+// which touches no adversary state), so strategies need no internal
+// synchronization. Determinism obligation: a builder must derive all
+// randomness from the deps it is handed (config seed / deps.rng), never
+// from ambient state — the registry is what makes scheduler x strategy
+// cells reproducible across processes in the matrix harness.
 #pragma once
 
 #include <functional>

@@ -1,5 +1,6 @@
 #include "core/config.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace stableshard::core {
@@ -11,7 +12,20 @@ std::string SimConfig::Describe() const {
      << " b=" << burstiness << " strat=" << strategy << " rounds=" << rounds
      << " seed=" << seed;
   if (worker_threads > 1) os << " wt=" << worker_threads;
+  if (scheduler == "backpressure") {
+    os << " bp=" << backpressure_high << "/" << backpressure_low;
+  }
   return os.str();
+}
+
+bool ValidateBackpressureWatermarks(std::uint64_t low, std::uint64_t high) {
+  if (low <= high && high > 0) return true;
+  std::fprintf(stderr,
+               "invalid backpressure watermarks: need --bp-low <= "
+               "--bp-high and --bp-high > 0 (got low=%llu high=%llu)\n",
+               static_cast<unsigned long long>(low),
+               static_cast<unsigned long long>(high));
+  return false;
 }
 
 }  // namespace stableshard::core

@@ -15,6 +15,12 @@
 
 namespace stableshard::core {
 
+/// Default backpressure watermarks — the single source of truth, shared
+/// by SimConfig below and consensus::BackpressureConfig's direct-
+/// construction defaults so the two can never drift.
+inline constexpr std::uint64_t kDefaultBackpressureHigh = 64;
+inline constexpr std::uint64_t kDefaultBackpressureLow = 16;
+
 enum class HierarchyKind : std::uint8_t { kLineShifted, kSparseCover };
 enum class AccountAssignment : std::uint8_t { kRoundRobin, kRandom };
 
@@ -40,9 +46,9 @@ struct SimConfig {
   Distance local_radius = 4;    ///< "local" strategy only
   double zipf_theta = 1.0;      ///< "hot_destination" skew exponent
 
-  // Scheduler: a name registered in core::SchedulerRegistry ("bds", "fds",
-  // "direct" in-tree; embedders may register more — the engine never names
-  // schedulers itself).
+  // Scheduler: a name registered in core::SchedulerRegistry ("backpressure",
+  // "bds", "fds", "direct" in-tree; embedders may register more — the
+  // engine never names schedulers itself).
   std::string scheduler = "bds";
   txn::ColoringAlgorithm coloring = txn::ColoringAlgorithm::kGreedy;
   HierarchyKind hierarchy = HierarchyKind::kLineShifted;
@@ -52,6 +58,19 @@ struct SimConfig {
   /// transactions' effects (see core/commit_protocol.h).
   bool fds_pipelined = true;
   bool bds_rotate_leader = true;
+  /// "backpressure" scheduler watermarks on a per-destination congestion
+  /// signal: max(messages arriving at the destination this round, its
+  /// standing backlog — undelivered messages plus the queues of the
+  /// clusters it leads; see Scheduler::QueueDepth). A destination whose
+  /// signal reaches `backpressure_high` is marked hot and new transactions
+  /// homed there are parked in the home shard's spill queue; once the
+  /// signal falls back to `backpressure_low` the spill re-enters, paced.
+  /// Requires low <= high and high > 0 (hysteresis — the scheduler's
+  /// constructor dies otherwise and the CLIs exit 2 before constructing
+  /// anything). The registry builder copies these into
+  /// consensus::BackpressureConfig.
+  std::uint64_t backpressure_high = kDefaultBackpressureHigh;
+  std::uint64_t backpressure_low = kDefaultBackpressureLow;
 
   // Run control.
   Round rounds = 25000;
@@ -74,6 +93,15 @@ struct SimConfig {
   std::string Describe() const;
 };
 
+/// CLI-shared validation for the backpressure watermark pair: true when
+/// usable (low <= high, high > 0), otherwise prints one "invalid
+/// backpressure watermarks: ..." line to stderr and returns false so the
+/// caller can exit 2. One source of truth for the condition and the
+/// message (the cli_invalid_backpressure_exits_2 ctest greps it); the
+/// scheduler constructor re-checks the same condition as an aborting
+/// invariant for non-CLI embedders.
+bool ValidateBackpressureWatermarks(std::uint64_t low, std::uint64_t high);
+
 /// Aggregated outcome of one simulation run.
 struct SimResult {
   // Figure metrics.
@@ -83,6 +111,9 @@ struct SimResult {
   double p50_latency = 0;
   double p99_latency = 0;
   double avg_leader_queue = 0;  ///< FDS: mean sch_ldr per active cluster
+  /// Peak over executed rounds of LeaderQueueMean() — the hot-destination
+  /// saturation metric the backpressure bench compares head-to-head.
+  double max_leader_queue = 0;
 
   // Volume.
   std::uint64_t injected = 0;
@@ -90,6 +121,11 @@ struct SimResult {
   std::uint64_t aborted = 0;
   std::uint64_t unresolved = 0;  ///< still pending at the end
   std::uint64_t max_pending = 0;
+  /// Peak over executed rounds of Scheduler::SpilledTxns() — how deep the
+  /// backpressure spill queues ever got (0 for schedulers without
+  /// admission control). Spilled transactions are registered with the
+  /// ledger, so they are already counted inside pending/unresolved.
+  std::uint64_t spill_peak = 0;
 
   // Cost.
   std::uint64_t messages = 0;

@@ -62,6 +62,9 @@ class DirectScheduler final : public Scheduler {
   net::ShardTraffic ShardTrafficFor(ShardId shard) const override {
     return network_.shard_traffic(shard);
   }
+  std::uint64_t QueueDepth(ShardId shard) const override {
+    return network_.pending_for(shard);
+  }
   const char* name() const override { return "direct"; }
 
  private:

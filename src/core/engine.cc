@@ -142,6 +142,7 @@ SimResult Simulation::Run() {
   stats::RunningStats pending_per_round;
   stats::RunningStats leader_queue_per_round;
   std::uint64_t max_pending = 0;
+  std::uint64_t spill_peak = 0;
 
   // Sampled after every executed round — drain rounds included, since
   // rounds_executed counts them: reported maxima/averages must cover the
@@ -154,6 +155,12 @@ SimResult Simulation::Run() {
     pending_per_round.Add(static_cast<double>(pending) /
                           static_cast<double>(config_.shards));
     leader_queue_per_round.Add(scheduler_->LeaderQueueMean());
+    // Spill-queue accounting: parked transactions are inside `pending`
+    // already (they were registered before Inject deferred them), so the
+    // peak is recorded as its own column rather than added anywhere. The
+    // drain loop below needs no special case either — Scheduler::Idle()
+    // reports busy while any spill queue is non-empty.
+    spill_peak = std::max(spill_peak, scheduler_->SpilledTxns());
     if (pending_series_) {
       pending_series_->Record(round, static_cast<double>(pending));
     }
@@ -201,6 +208,8 @@ SimResult Simulation::Run() {
   SimResult result;
   result.avg_pending_per_shard = pending_per_round.mean();
   result.avg_leader_queue = leader_queue_per_round.mean();
+  result.max_leader_queue = leader_queue_per_round.max();
+  result.spill_peak = spill_peak;
   const stats::LatencyRecorder& latency = ledger_->latency();
   result.avg_latency = latency.average_latency();
   result.max_latency = latency.max_latency();

@@ -37,8 +37,12 @@ FdsScheduler::FdsScheduler(const net::ShardMetric& metric,
     e0 = std::max(e0, needed);
   }
   e0_ = e0;
+  clusters_led_by_.resize(metric.shard_count());
   for (const cluster::Cluster& cluster : hierarchy.clusters()) {
-    if (cluster.HasLeader()) leadered_clusters_.push_back(cluster.id);
+    if (cluster.HasLeader()) {
+      leadered_clusters_.push_back(cluster.id);
+      clusters_led_by_[cluster.leader].push_back(cluster.id);
+    }
   }
 }
 

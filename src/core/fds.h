@@ -109,6 +109,24 @@ class FdsScheduler final : public Scheduler {
   net::ShardTraffic ShardTrafficFor(ShardId shard) const override {
     return network_.shard_traffic(shard);
   }
+  /// A destination's full backlog: undelivered network messages addressed
+  /// to it *plus* the scheduled-but-undecided transactions (sch_ldr and
+  /// incoming batches) of the clusters it leads — the quantity that
+  /// saturates under a hot destination, and the one the backpressure
+  /// wrapper watermarks. O(clusters led by `shard`) per call, serial
+  /// phases only.
+  std::uint64_t QueueDepth(ShardId shard) const override {
+    std::uint64_t depth = network_.pending_for(shard);
+    for (const std::uint32_t id : clusters_led_by_[shard]) {
+      const ClusterState& state = cluster_state_[id];
+      depth += state.incoming.size() + state.active.size();
+    }
+    return depth;
+  }
+  /// Baseline the per-destination inflow counters (serial phases only) so
+  /// ShardTrafficFor(shard).InflowSinceSnapshot() reads one round's
+  /// arrivals — the backpressure wrapper calls this once per BeginRound.
+  void SnapshotInflow() { network_.SnapshotInflow(); }
   const char* name() const override { return "fds"; }
 
   /// Introspection.
@@ -144,6 +162,9 @@ class FdsScheduler final : public Scheduler {
   Round e0_ = 4;  ///< base (layer-0) epoch length
   std::vector<ClusterState> cluster_state_;      // by cluster id
   std::vector<std::uint32_t> leadered_clusters_; // ids of usable clusters
+  /// leadered_clusters_ inverted: the cluster ids each shard leads
+  /// (QueueDepth walks only the queried shard's own clusters).
+  std::vector<std::vector<std::uint32_t>> clusters_led_by_;
 
   // Home-side buffers: per home shard, cluster id -> transactions waiting
   // for that cluster's next epoch start (std::map so the shard's flush

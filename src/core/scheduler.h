@@ -84,12 +84,30 @@ inline std::pair<ShardId, ShardId> FlushShardRange(ShardId shards,
   return {begin, end};
 }
 
+// Call-order contract (the engine, and any conforming driver, guarantees
+// it): per round r the sequence is
+//
+//   Inject* -> BeginRound(r) -> StepShard(shard, r) for every shard
+//           -> { EndRound(r) | SealRound(r) -> FlushRoundPartition* ->
+//                FinishRound(r) }
+//
+// with Inject only ever called between rounds (after the previous round's
+// FinishRound/EndRound, before BeginRound). Thread ownership: everything
+// except StepShard and FlushRoundPartition runs on the driving thread;
+// StepShard may run concurrently for distinct shards, FlushRoundPartition
+// for distinct partitions. Determinism obligation: any state a scheduler
+// branches on in a serial phase (including the traffic/queue introspection
+// below) must be bit-identical whatever worker_threads or the pipeline
+// switch — which every counter folded through the serial epilogue is.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
   /// A transaction arrives at its home shard's injection queue (serial,
-  /// between rounds).
+  /// between rounds — never during a round's phases). Admission-control
+  /// wrappers may defer the transaction instead of enqueueing it, but the
+  /// ledger has already registered it: a deferred transaction still counts
+  /// as pending and must eventually be admitted or the run cannot drain.
   virtual void Inject(const txn::Transaction& txn) = 0;
 
   /// Serial prologue of one synchronous round. Rounds are strictly
@@ -153,11 +171,29 @@ class Scheduler {
   virtual net::LaneMemory OutboxMemory() const { return {}; }
 
   /// Per-shard traffic split of the scheduler's network (leader-bottleneck
-  /// forensics). Zeroes when the scheduler keeps no per-shard stats.
+  /// forensics, backpressure watermarks). Zeroes when the scheduler keeps
+  /// no per-shard stats. Serial phases only; the counters are cumulative
+  /// and bit-identical across worker counts there (see net::ShardTraffic).
   virtual net::ShardTraffic ShardTrafficFor(ShardId shard) const {
     (void)shard;
     return {};
   }
+
+  /// Undelivered network messages currently addressed to `shard` — the
+  /// per-destination queue depth a traffic-aware wrapper watermarks on.
+  /// Serial phases only. Schedulers without a network report 0.
+  virtual std::uint64_t QueueDepth(ShardId shard) const {
+    (void)shard;
+    return 0;
+  }
+
+  /// Transactions accepted by Inject but parked in an admission-control
+  /// spill queue instead of entering the protocol (0 for schedulers
+  /// without admission control). The engine's drain loop keeps stepping
+  /// while this is non-zero via Idle(), and samples it into
+  /// SimResult::spill_peak; the accounting identity counts spilled
+  /// transactions as pending.
+  virtual std::uint64_t SpilledTxns() const { return 0; }
 
   virtual const char* name() const = 0;
 };

@@ -13,6 +13,18 @@
 // engine-owned runtime services. The hierarchy is provided as a lazy
 // accessor: only schedulers that actually need a cluster decomposition pay
 // for building one.
+//
+// Contract: Register must only run during static initialization or before
+// any Simulation is constructed (the registry is not locked); duplicate
+// names die. Build runs on the Simulation constructor's thread and may
+// call deps.hierarchy() at most as a one-time construction cost; every
+// dep outlives the built scheduler. The built Scheduler is then driven
+// under the call-order/thread-ownership contract of core/scheduler.h —
+// a registered scheduler automatically enters the matrix harness
+// (tests/matrix_test.cc), so it must uphold the bit-identity-across-
+// workers determinism obligation from day one. Builders that validate
+// config (e.g. backpressure's watermarks) should die via SSHARD_CHECK;
+// CLIs validate the same conditions first and exit 2.
 #pragma once
 
 #include <functional>

@@ -77,12 +77,32 @@ struct TrafficStats {
   std::uint64_t max_in_flight = 0;  ///< peak undelivered messages
 };
 
-/// Per-shard traffic split (DoS forensics, load-balance introspection).
+/// Per-shard traffic split (DoS forensics, load-balance introspection,
+/// backpressure admission control).
+///
+/// Contract: counters are cumulative over the run and only ever grow.
+/// The `messages_in` / `payload_in` halves are updated by Send (serial)
+/// and Deposit (destination-owned, so one writer per shard during a
+/// partitioned flush); the `_out` halves by Send and the serial
+/// AddSenderTraffic fold. Reads are only meaningful from serial phases
+/// (BeginRound / FinishRound / between rounds) — there the values are
+/// bit-identical whatever the worker or partition count, which is what
+/// lets traffic-reactive schedulers (consensus/backpressure_scheduler)
+/// branch on them without breaking the determinism contract.
 struct ShardTraffic {
   std::uint64_t messages_in = 0;
   std::uint64_t messages_out = 0;
   std::uint64_t payload_in = 0;
   std::uint64_t payload_out = 0;
+  /// `messages_in` as of the last Network::SnapshotInflow() — the baseline
+  /// for the cheap per-round inflow readout below.
+  std::uint64_t messages_in_snapshot = 0;
+
+  /// Messages that arrived for this destination since the last snapshot
+  /// (one round's inflow when SnapshotInflow runs once per round).
+  std::uint64_t InflowSinceSnapshot() const {
+    return messages_in - messages_in_snapshot;
+  }
 };
 
 /// Footprint of the lazy per-destination ring (see ring_memory()).
@@ -256,6 +276,19 @@ class Network {
   const TrafficStats& stats() const { return stats_; }
   const ShardTraffic& shard_traffic(ShardId shard) const {
     return shard_traffic_[shard];
+  }
+
+  /// Baseline every destination's inbound counter so that
+  /// ShardTraffic::InflowSinceSnapshot() reads the traffic of the window
+  /// since this call. O(s) plain stores; serial phases only (it races with
+  /// nothing because Deposit never touches the snapshot field, but the
+  /// reader contract on ShardTraffic is serial anyway). Calling it once
+  /// per round from BeginRound gives a per-round inflow readout without
+  /// any per-send cost.
+  void SnapshotInflow() {
+    for (ShardTraffic& traffic : shard_traffic_) {
+      traffic.messages_in_snapshot = traffic.messages_in;
+    }
   }
   const ShardMetric& metric() const { return *metric_; }
   std::size_t slot_count() const { return slot_count_; }

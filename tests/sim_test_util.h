@@ -51,12 +51,14 @@ inline void ExpectBitIdenticalResults(const core::SimResult& a,
   EXPECT_EQ(a.aborted, b.aborted);
   EXPECT_EQ(a.unresolved, b.unresolved);
   EXPECT_EQ(a.max_pending, b.max_pending);
+  EXPECT_EQ(a.spill_peak, b.spill_peak);
   EXPECT_EQ(a.messages, b.messages);
   EXPECT_EQ(a.payload_units, b.payload_units);
   EXPECT_EQ(a.rounds_executed, b.rounds_executed);
   EXPECT_EQ(a.drained, b.drained);
   EXPECT_DOUBLE_EQ(a.avg_pending_per_shard, b.avg_pending_per_shard);
   EXPECT_DOUBLE_EQ(a.avg_leader_queue, b.avg_leader_queue);
+  EXPECT_DOUBLE_EQ(a.max_leader_queue, b.max_leader_queue);
   EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
   EXPECT_DOUBLE_EQ(a.max_latency, b.max_latency);
   EXPECT_DOUBLE_EQ(a.p50_latency, b.p50_latency);

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Fail on broken relative links in the repo's markdown docs.
+#
+# Scans README.md, ROADMAP.md and docs/*.md for inline markdown links
+# `[text](target)`, ignores absolute URLs (scheme:...) and pure
+# in-page anchors (#...), and checks the target exists relative to the
+# linking file's directory. For cross-file links into a .md target with
+# a #fragment, the fragment is also checked against the target's
+# headings (GitHub-style slugs: lowercase, punctuation stripped, spaces
+# to dashes; fenced code blocks excluded) — renaming a heading breaks
+# the link as surely as renaming the file. Exits 1 listing every broken
+# link; exits 0 silently otherwise. POSIX sh + grep/sed/tr/awk only, so
+# the CI step and a bare container both run it as-is.
+#
+#   tools/check_doc_links.sh [file.md ...]   # default: README ROADMAP docs/*.md
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+files="$*"
+if [ -z "$files" ]; then
+  files="README.md ROADMAP.md"
+  for doc in docs/*.md; do
+    [ -e "$doc" ] && files="$files $doc"
+  done
+fi
+
+status=0
+for file in $files; do
+  if [ ! -f "$file" ]; then
+    echo "check_doc_links: no such file: $file" >&2
+    status=1
+    continue
+  fi
+  dir=$(dirname "$file")
+  # One inline link target per line (`grep -o` keeps only the match, so
+  # multiple links on one line are each checked). The pipeline's while
+  # runs in a subshell under some shells, so broken targets are echoed
+  # and collected via command substitution rather than mutating $status
+  # from inside it.
+  broken=$(
+    grep -o '](\([^)]*\))' "$file" | sed 's/^](//; s/)$//' |
+    while IFS= read -r target; do
+      case "$target" in
+        *://*|mailto:*|\#*|'') continue ;;
+      esac
+      path=${target%%#*}
+      [ -z "$path" ] && continue
+      if [ ! -e "$dir/$path" ]; then
+        printf '%s\n' "$target"
+        continue
+      fi
+      # Cross-file heading anchor: slugify the target's headings and
+      # require an exact match.
+      fragment=${target#*#}
+      [ "$fragment" = "$target" ] && continue
+      case "$path" in
+        *.md)
+          # awk tracks ``` fences so '# comment' lines inside shell
+          # blocks are not mistaken for headings.
+          if ! awk '/^```/ { fence = !fence; next }
+                    !fence && /^##*[ \t]/ { sub(/^##*[ \t]+/, ""); print }' \
+                 "$dir/$path" |
+               tr '[:upper:]' '[:lower:]' |
+               sed 's/[^a-z0-9_ -]//g; s/ /-/g' |
+               grep -qx "$fragment"; then
+            printf '%s\n' "$target"
+          fi
+          ;;
+      esac
+    done
+  )
+  if [ -n "$broken" ]; then
+    printf '%s\n' "$broken" |
+      sed "s|^|$file: broken relative link -> |" >&2
+    status=1
+  fi
+done
+
+exit $status
