@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/flags.h"
 #include "consensus/backpressure_scheduler.h"
@@ -75,6 +76,7 @@ struct TimedRun {
   net::RingMemory memory_at_start;  ///< after construction, before round 0
   net::RingMemory memory_at_end;
   net::LaneMemory lane_memory_at_end;  ///< outbox footprint after the run
+  common::ArenaMemoryStats arena_at_end;  ///< coloring step-scratch arenas
   core::PhaseTimes phases;
   double leader_in_share = 0;   ///< max_i messages_in(i) / messages_sent
   double leader_out_share = 0;  ///< max_i messages_out(i) / messages_sent
@@ -84,6 +86,10 @@ TimedRun RunOnce(core::SimConfig config, std::uint32_t workers,
                  bool pipeline = true) {
   config.worker_threads = workers;
   config.pipeline = pipeline;
+  // This bench measures the pool itself (speedup columns, determinism
+  // checks), so the small-grid threshold must never silently serialize a
+  // "parallel" run: force the pool on whenever workers > 1.
+  config.min_shards_per_worker = 1;
   core::Simulation sim(config);
   TimedRun timed;
   timed.memory_at_start = sim.scheduler().NetworkMemory();
@@ -94,6 +100,7 @@ TimedRun RunOnce(core::SimConfig config, std::uint32_t workers,
           .count();
   timed.memory_at_end = sim.scheduler().NetworkMemory();
   timed.lane_memory_at_end = sim.scheduler().OutboxMemory();
+  timed.arena_at_end = sim.scheduler().ArenaMemory();
   timed.phases = sim.phase_times();
   std::uint64_t max_in = 0, max_out = 0;
   for (ShardId shard = 0; shard < config.shards; ++shard) {
@@ -151,6 +158,14 @@ void PrintRingMemory(const TimedRun& run) {
       static_cast<unsigned long long>(lanes.lanes_with_capacity),
       static_cast<double>(lanes.capacity_bytes) / (1024.0 * 1024.0),
       static_cast<unsigned long long>(lanes.high_water_items));
+  const common::ArenaMemoryStats& arena = run.arena_at_end;
+  std::printf(
+      "coloring arenas: %llu chunks, %.2f KB reserved, high water %.2f KB "
+      "across %llu resets (step scratch is bump-allocated, not heaped)\n",
+      static_cast<unsigned long long>(arena.chunks),
+      static_cast<double>(arena.reserved_bytes) / 1024.0,
+      static_cast<double>(arena.high_water_bytes) / 1024.0,
+      static_cast<unsigned long long>(arena.resets));
 }
 
 struct GridRow {
@@ -293,6 +308,7 @@ struct PhasesRow {
   bool identical = false;
   core::PhaseTimes phases;
   net::LaneMemory lanes;
+  common::ArenaMemoryStats arena;
 };
 
 int RunPhases(const Flags& flags) {
@@ -363,6 +379,7 @@ int RunPhases(const Flags& flags) {
           row.identical = identical;
           row.phases = timed.phases;
           row.lanes = timed.lane_memory_at_end;
+          row.arena = timed.arena_at_end;
           rows.push_back(row);
 
           std::printf(
@@ -396,7 +413,10 @@ int RunPhases(const Flags& flags) {
         "     \"phase_flush\": %.6f, \"phase_finish\": %.6f,\n"
         "     \"phase_sample\": %.6f, \"phase_total\": %.6f,\n"
         "     \"outbox_capacity_bytes\": %llu,\n"
-        "     \"outbox_high_water_items\": %llu}%s\n",
+        "     \"outbox_high_water_items\": %llu,\n"
+        "     \"arena_reserved_bytes\": %llu,\n"
+        "     \"arena_high_water_bytes\": %llu,\n"
+        "     \"arena_resets\": %llu}%s\n",
         row.shards, row.topology.c_str(), row.scheduler.c_str(), row.workers,
         row.pipeline ? "true" : "false", row.seconds, row.speedup,
         row.identical ? "true" : "false", row.serial_share,
@@ -405,6 +425,9 @@ int RunPhases(const Flags& flags) {
         row.phases.sample, row.phases.total,
         static_cast<unsigned long long>(row.lanes.capacity_bytes),
         static_cast<unsigned long long>(row.lanes.high_water_items),
+        static_cast<unsigned long long>(row.arena.reserved_bytes),
+        static_cast<unsigned long long>(row.arena.high_water_bytes),
+        static_cast<unsigned long long>(row.arena.resets),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
@@ -438,6 +461,7 @@ BackpressureRun RunHotDestination(core::SimConfig config,
                                   bool pipeline = true) {
   config.worker_threads = workers;
   config.pipeline = pipeline;
+  config.min_shards_per_worker = 1;  // pool on: the checks compare workers
   core::Simulation sim(config);
   BackpressureRun run;
   run.result = sim.Run();

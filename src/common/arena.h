@@ -1,0 +1,190 @@
+// Bump allocator for per-round scratch memory.
+//
+// The Phase-2 hot path (conflict view assembly + coloring) used to allocate
+// and free the same few vectors every round. Arena replaces that churn with
+// a bump pointer: allocations are O(1) pointer arithmetic into a chunk, and
+// the whole arena is recycled with one Reset() call at the start of the
+// next round. Nothing is ever destroyed individually — only trivially
+// destructible payloads (indices, pointers, bitset words) may live here.
+//
+// Shrinking follows the PR 4 outbox lane policy (net::OutboxSet::RetireLane):
+// a decayed high-water mark tracks the recent per-round peak (25% decay per
+// round, floored at the current round's usage), and when reserved capacity
+// overshoots 4x the reserve target (mark + mark/2) — and exceeds the shrink
+// floor — the chunks are released and one right-sized chunk is re-reserved.
+// Reset() also coalesces multi-chunk rounds into a single chunk, so the
+// steady state is exactly one chunk and zero allocator traffic per round.
+//
+// Not thread-safe: each Arena is owned by one shard's step (FDS keeps one
+// per shard) or by a serial phase (BDS resets its leader arena in
+// BeginRound). Reset() invalidates every pointer handed out since the last
+// Reset(); arena-backed containers must not outlive the round.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace stableshard::common {
+
+/// Snapshot of one arena's footprint, in the style of net::LaneMemory.
+/// Aggregated across shards by operator+= (sums, including high-water:
+/// the aggregate answers "how much scratch does this scheduler hold").
+struct ArenaMemoryStats {
+  std::uint64_t reserved_bytes = 0;    ///< sum of chunk capacities
+  std::uint64_t used_bytes = 0;        ///< handed out since last Reset()
+  std::uint64_t high_water_bytes = 0;  ///< decayed per-round peak
+  std::uint64_t chunks = 0;
+  std::uint64_t resets = 0;
+
+  ArenaMemoryStats& operator+=(const ArenaMemoryStats& other) {
+    reserved_bytes += other.reserved_bytes;
+    used_bytes += other.used_bytes;
+    high_water_bytes += other.high_water_bytes;
+    chunks += other.chunks;
+    resets += other.resets;
+    return *this;
+  }
+};
+
+class Arena {
+ public:
+  static constexpr std::size_t kMinChunkBytes = 4096;
+  /// Below this reserved size the arena never shrinks (mirrors the outbox
+  /// kShrinkFloor: releasing tiny buffers just to re-grow them thrashes).
+  static constexpr std::size_t kShrinkFloorBytes = 64 * 1024;
+
+  explicit Arena(std::size_t initial_bytes = 0) {
+    if (initial_bytes > 0) AddChunk(std::max(initial_bytes, kMinChunkBytes));
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Returns `bytes` of storage aligned to `align` (power of two). The
+  /// memory is uninitialized and lives until the next Reset().
+  void* Allocate(std::size_t bytes, std::size_t align) {
+    SSHARD_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    if (chunk_ >= chunks_.size() ||
+        AlignUp(cursor_, align) + bytes > chunks_[chunk_].capacity) {
+      NextChunk(bytes + align);
+    }
+    const std::size_t offset = AlignUp(cursor_, align);
+    used_ += (offset - cursor_) + bytes;  // padding counts toward the mark
+    cursor_ = offset + bytes;
+    return chunks_[chunk_].data.get() + offset;
+  }
+
+  /// Typed array of `count` default-uninitialized Ts. T must be trivially
+  /// destructible — Reset() never runs destructors.
+  template <typename T>
+  T* AllocateArray(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles the arena for the next round: rewinds the bump pointer,
+  /// updates the decayed high-water mark, and applies the outbox-style
+  /// shrink / coalesce policy. Invalidates all outstanding allocations.
+  void Reset() {
+    ++resets_;
+    high_water_ = std::max<std::uint64_t>(used_, high_water_ - high_water_ / 4);
+    const std::uint64_t target = high_water_ + high_water_ / 2;
+    const std::uint64_t floor =
+        std::max<std::uint64_t>(4 * target, kShrinkFloorBytes);
+    if ((reserved() > floor && reserved() > target) || chunks_.size() > 1) {
+      chunks_.clear();
+      if (target > 0) AddChunk(static_cast<std::size_t>(target));
+    }
+    chunk_ = 0;
+    cursor_ = 0;
+    used_ = 0;
+  }
+
+  ArenaMemoryStats memory() const {
+    ArenaMemoryStats stats;
+    stats.reserved_bytes = reserved();
+    stats.used_bytes = used_;
+    stats.high_water_bytes = high_water_;
+    stats.chunks = chunks_.size();
+    stats.resets = resets_;
+    return stats;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+  };
+
+  static std::size_t AlignUp(std::size_t value, std::size_t align) {
+    return (value + align - 1) & ~(align - 1);
+  }
+
+  std::uint64_t reserved() const {
+    std::uint64_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.capacity;
+    return total;
+  }
+
+  void AddChunk(std::size_t capacity) {
+    capacity = std::max(capacity, kMinChunkBytes);
+    chunks_.push_back({std::make_unique<std::byte[]>(capacity), capacity});
+  }
+
+  /// Opens a fresh chunk able to hold at least `min_bytes`. Chunks double
+  /// so a round that outgrows its reservation settles in O(log) appends;
+  /// Reset() coalesces them back into one.
+  void NextChunk(std::size_t min_bytes) {
+    std::size_t capacity =
+        chunks_.empty() ? kMinChunkBytes : chunks_.back().capacity * 2;
+    capacity = std::max(capacity, min_bytes);
+    AddChunk(capacity);
+    chunk_ = chunks_.size() - 1;
+    cursor_ = 0;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;   ///< index of the chunk being bumped
+  std::size_t cursor_ = 0;  ///< offset of the next free byte in chunk_
+  std::uint64_t used_ = 0;
+  std::uint64_t high_water_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+/// Minimal std::allocator adapter so standard containers can use an Arena
+/// for round-scoped scratch. deallocate() is a no-op — memory returns to
+/// the arena only at Reset(), so such containers must die with the round.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t count) { return arena_->AllocateArray<T>(count); }
+  void deallocate(T*, std::size_t) {}
+
+  Arena* arena() const { return arena_; }
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace stableshard::common

@@ -117,6 +117,9 @@ class BackpressureScheduler final : public core::Scheduler {
   net::LaneMemory OutboxMemory() const override {
     return inner_->OutboxMemory();
   }
+  common::ArenaMemoryStats ArenaMemory() const override {
+    return inner_->ArenaMemory();
+  }
   net::ShardTraffic ShardTrafficFor(ShardId shard) const override {
     return inner_->ShardTrafficFor(shard);
   }

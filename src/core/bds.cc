@@ -153,11 +153,16 @@ void BdsScheduler::ShipPending(ShardId home) {
 void BdsScheduler::LeaderColorAndReply(Round round) {
   // Phase 2: color the shard-granularity conflict graph with <= Delta+1
   // colors and return the assignment; the color count fixes the epoch end.
-  std::vector<const txn::Transaction*> view;
+  // The view and the coloring's internal scratch live in the step arena:
+  // one Reset here recycles the previous epoch's allocations, so steady
+  // state epochs touch no heap.
+  step_arena_.Reset();
+  common::ArenaVector<const txn::Transaction*> view{
+      common::ArenaAllocator<const txn::Transaction*>(&step_arena_)};
   view.reserve(leader_inbox_.size());
   for (const auto& txn : leader_inbox_) view.push_back(&txn);
   const txn::ColoringResult coloring =
-      ColorShardCliques(view, config_.coloring);
+      ColorShardCliques(view, config_.coloring, step_arena_);
   SSHARD_DCHECK(IsProperShardColoring(view, coloring.color));
 
   num_colors_ = coloring.num_colors;

@@ -48,6 +48,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/types.h"
 #include "core/commit_ledger.h"
 #include "core/messages.h"
@@ -95,6 +96,9 @@ class BdsScheduler final : public Scheduler {
   }
   net::ShardTraffic ShardTrafficFor(ShardId shard) const override {
     return network_.shard_traffic(shard);
+  }
+  common::ArenaMemoryStats ArenaMemory() const override {
+    return step_arena_.memory();
   }
   std::uint64_t QueueDepth(ShardId shard) const override {
     return network_.pending_for(shard);
@@ -159,6 +163,14 @@ class BdsScheduler final : public Scheduler {
 
   // Leader-side: transactions received in Phase 1 of the current epoch.
   std::vector<txn::Transaction> leader_inbox_;
+
+  /// Phase-2 scratch arena: the coloring view and the coloring's internal
+  /// bitsets/ordering are bump-allocated here and recycled wholesale.
+  /// Only one shard (the epoch leader) colors per round, so a single arena
+  /// reset at the top of LeaderColorAndReply respects the StepShard
+  /// ownership contract — resets happen only on coloring rounds, so the
+  /// high-water decay tracks epochs, not idle rounds.
+  common::Arena step_arena_;
 
   // Home-shard side, indexed by home shard.
   std::vector<HomeState> home_;

@@ -85,6 +85,17 @@ struct SimConfig {
   /// the serial epilogue either way — the switch exists for the
   /// before/after comparison in bench/parallel_rounds --phases.
   bool pipeline = true;
+  /// Small-grid pool overhead guard: when shards / worker_threads falls
+  /// below this, the engine skips the worker pool entirely and runs the
+  /// serial step path — per-round dispatch/wake overhead exceeds the
+  /// parallel win on small grids (BENCH_pipeline.json: workers=4 was 0.74x
+  /// at s=256, i.e. *slower* than serial). Results are bit-identical either
+  /// way (the decomposition is deterministic), so this is purely a
+  /// wall-clock policy. The default keeps s=1024 x 8 workers parallel and
+  /// serializes s=256 x 4. Set to 1 to force the pool on (tests and the
+  /// determinism benches do, so worker-count coverage stays real). Must be
+  /// >= 1; CLIs validate via ValidateMinShardsPerWorker and exit 2.
+  std::uint32_t min_shards_per_worker = 128;
   /// After `rounds`, keep stepping (without injection) until the scheduler
   /// drains or `drain_cap` extra rounds elapse (0 = no drain phase).
   Round drain_cap = 0;
@@ -101,6 +112,15 @@ struct SimConfig {
 /// scheduler constructor re-checks the same condition as an aborting
 /// invariant for non-CLI embedders.
 bool ValidateBackpressureWatermarks(std::uint64_t low, std::uint64_t high);
+
+/// CLI-shared validation for the pool-overhead threshold: true when usable
+/// (>= 1 — "0 shards per worker" would make every grid serial by a
+/// division that never triggers), otherwise prints one "invalid
+/// min-shards-per-worker: ..." line to stderr and returns false so the
+/// caller can exit 2 (the cli_invalid_min_shards_exits_2 ctest greps it).
+/// The Simulation constructor re-checks the condition as an aborting
+/// invariant for non-CLI embedders.
+bool ValidateMinShardsPerWorker(std::uint32_t min_shards_per_worker);
 
 /// Aggregated outcome of one simulation run.
 struct SimResult {

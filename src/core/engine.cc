@@ -27,6 +27,7 @@ Simulation::Simulation(const SimConfig& config)
   SSHARD_CHECK(config.rho > 0.0 && config.rho <= 1.0);
   SSHARD_CHECK(config.burstiness > 0.0);
   SSHARD_CHECK(config.worker_threads >= 1);
+  SSHARD_CHECK(config.min_shards_per_worker >= 1);
 
   metric_ = net::MakeMetric(config.topology, config.shards, &rng_);
 
@@ -62,7 +63,13 @@ Simulation::Simulation(const SimConfig& config)
   scheduler_ =
       SchedulerRegistry::Global().Build(config.scheduler, config_, deps);
 
-  if (config.worker_threads > 1) {
+  // Pool-overhead guard: on small grids the per-round dispatch/wake cost
+  // exceeds the parallel win (BENCH_pipeline.json showed 0.74x at s=256
+  // with 4 workers), so below min_shards_per_worker shards per worker the
+  // pool is never built and the serial step path runs. Bit-identical
+  // results either way — this only changes wall-clock.
+  if (config.worker_threads > 1 &&
+      config.shards / config.worker_threads >= config.min_shards_per_worker) {
     pool_ = std::make_unique<ThreadPool>(config.worker_threads);
   }
 }

@@ -100,6 +100,14 @@ class Simulation {
   /// into the simulation, so it cannot perturb results.
   const PhaseTimes& phase_times() const { return phase_times_; }
 
+  /// Threads actually stepping shards: config worker_threads, unless the
+  /// min_shards_per_worker guard decided the grid is too small for the
+  /// pool, in which case 1 (benches report this next to the configured
+  /// count so threshold fallbacks are visible in the tables).
+  std::uint32_t effective_workers() const {
+    return pool_ ? config_.worker_threads : 1;
+  }
+
  private:
   const cluster::Hierarchy& EnsureHierarchy();
   /// Generate `round`'s injections into the reusable buffer.

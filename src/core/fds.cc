@@ -27,6 +27,7 @@ FdsScheduler::FdsScheduler(const net::ShardMetric& metric,
       home_outgoing_(metric.shard_count()),
       buffered_by_home_(metric.shard_count(), 0),
       coloring_work_(metric.shard_count()),
+      step_arenas_(metric.shard_count()),
       reschedules_by_shard_(metric.shard_count(), 0),
       inbox_(metric.shard_count()) {
   // Derive the aligned base epoch length E_0 (see header).
@@ -136,6 +137,9 @@ void FdsScheduler::StepShard(ShardId shard, Round round) {
   }
 
   // Phase 2, leader side: colorings planned for this shard this round.
+  // The shard-owned arena recycles the previous coloring round's scratch;
+  // every coloring this shard runs this round bump-allocates from it.
+  if (!coloring_work_[shard].empty()) step_arenas_[shard].Reset();
   for (const std::uint32_t id : coloring_work_[shard]) {
     RunColoring(hierarchy_->clusters()[id], shard, round);
   }
@@ -182,8 +186,12 @@ void FdsScheduler::RunColoring(const cluster::Cluster& cluster,
   if (state.incoming.empty() && !reschedule) return;
 
   // Collect the coloring set: new transactions, plus (on reschedule) every
-  // scheduled-but-undecided transaction of this cluster.
-  std::vector<const txn::Transaction*> view;
+  // scheduled-but-undecided transaction of this cluster. The view and the
+  // coloring's internal scratch bump-allocate from the leader shard's step
+  // arena (reset once per coloring round in StepShard).
+  common::Arena& arena = step_arenas_[leader];
+  common::ArenaVector<const txn::Transaction*> view{
+      common::ArenaAllocator<const txn::Transaction*>(&arena)};
   view.reserve(state.incoming.size() + (reschedule ? state.active.size() : 0));
   const std::size_t new_count = state.incoming.size();
   for (const auto& txn : state.incoming) view.push_back(&txn);
@@ -196,7 +204,7 @@ void FdsScheduler::RunColoring(const cluster::Cluster& cluster,
   }
 
   const txn::ColoringResult coloring =
-      ColorShardCliques(view, config_.coloring);
+      ColorShardCliques(view, config_.coloring, arena);
   SSHARD_DCHECK(IsProperShardColoring(view, coloring.color));
 
   for (std::size_t v = 0; v < view.size(); ++v) {

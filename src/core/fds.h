@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "cluster/hierarchy.h"
+#include "common/arena.h"
 #include "common/types.h"
 #include "core/commit_ledger.h"
 #include "core/commit_protocol.h"
@@ -108,6 +109,12 @@ class FdsScheduler final : public Scheduler {
   }
   net::ShardTraffic ShardTrafficFor(ShardId shard) const override {
     return network_.shard_traffic(shard);
+  }
+  /// Summed across the per-shard step arenas (serial phases only).
+  common::ArenaMemoryStats ArenaMemory() const override {
+    common::ArenaMemoryStats stats;
+    for (const common::Arena& arena : step_arenas_) stats += arena.memory();
+    return stats;
   }
   /// A destination's full backlog: undelivered network messages addressed
   /// to it *plus* the scheduled-but-undecided transactions (sch_ldr and
@@ -175,6 +182,12 @@ class FdsScheduler final : public Scheduler {
 
   // BeginRound output: clusters to color this round, grouped by leader.
   std::vector<std::vector<std::uint32_t>> coloring_work_;  // by shard
+
+  /// Per-shard Phase-2 scratch arenas: unlike BDS, many cluster leaders
+  /// color concurrently in one round, so each leader shard owns its arena
+  /// (StepShard contract). Reset once per coloring round per shard; all
+  /// colorings the shard runs that round bump-allocate from it.
+  std::vector<common::Arena> step_arenas_;
 
   // Per-leader-shard counters (summed by the serial getters).
   std::vector<std::uint64_t> reschedules_by_shard_;

@@ -60,6 +60,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/types.h"
 #include "net/network.h"
 #include "net/outbox.h"
@@ -169,6 +170,12 @@ class Scheduler {
   /// double-buffered send lanes decay after bursts like the network rings;
   /// benches report both. Schedulers without an outbox report zeroes.
   virtual net::LaneMemory OutboxMemory() const { return {}; }
+
+  /// Footprint of the scheduler's per-round scratch arenas (serial phases
+  /// only) — the bump allocators backing the Phase-2 view/coloring scratch.
+  /// Aggregated across shards for schedulers with per-shard arenas; zeroes
+  /// for schedulers that keep no arena-backed scratch.
+  virtual common::ArenaMemoryStats ArenaMemory() const { return {}; }
 
   /// Per-shard traffic split of the scheduler's network (leader-bottleneck
   /// forensics, backpressure watermarks). Zeroes when the scheduler keeps

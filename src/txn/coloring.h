@@ -6,11 +6,24 @@
 // also provide Welsh-Powell (largest-degree-first greedy) and DSATUR as
 // ablation alternatives — fewer colors shorten Phase 3 by 4 rounds per
 // color saved.
+//
+// Color tracking: DSATUR and the shard-clique coloring use uint64_t bitset
+// words (saturation is a popcount; "smallest free color" is a word-wise OR
+// plus a count of trailing ones instead of a per-color scan), while plain
+// greedy keeps stamped mark stores — marking must stay a pure store, and
+// its array is sized by the greedy color bound (MaxDegree + 2) instead of
+// n + 1 so burst epochs keep it cache-resident. Every assignment produced
+// is bit-identical to the original implementation — same smallest absent
+// color from the same neighbor set in the same vertex order (the originals
+// survive in bench/micro_components as the "legacy" baselines for
+// BENCH_micro.json).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/types.h"
 #include "txn/conflict_graph.h"
 
@@ -27,6 +40,12 @@ const char* ToString(ColoringAlgorithm algorithm);
 struct ColoringResult {
   std::vector<Color> color;   ///< per-vertex color, 0-based
   std::uint32_t num_colors = 0;
+  /// The algorithm that actually ran. ColorGraph always honors the request;
+  /// ColorShardCliques cannot run true DSATUR without the explicit graph
+  /// and falls back to kWelshPowell — that fallback is recorded here
+  /// instead of being silent, so callers (e.g. bench/ablation_coloring)
+  /// can label the row with what really executed.
+  ColoringAlgorithm used = ColoringAlgorithm::kGreedy;
 };
 
 /// Colors `graph` with the chosen algorithm. The result is always a proper
@@ -39,23 +58,32 @@ ColoringResult ColorGraph(const ConflictGraph& graph,
 ///
 /// The shard-granularity conflict graph is a union of per-shard cliques, so
 /// a proper coloring only needs, per transaction, the smallest color unused
-/// by any transaction sharing one of its destination shards — computable
-/// with per-(shard, color) marks in O(n * k * colors) time and O(s * colors)
-/// space. This matters for the paper's burst workloads (b = 3000 preloads
-/// tens of thousands of transactions; the explicit clique-union graph would
-/// have ~10^8 edges).
+/// by any transaction sharing one of its destination shards — the first
+/// zero bit in the OR of its destination shards' color bitsets. This
+/// matters for the paper's burst workloads (b = 3000 preloads tens of
+/// thousands of transactions; the explicit clique-union graph would have
+/// ~10^8 edges).
 ///
 /// kGreedy orders by input (id) order; kWelshPowell orders by decreasing
 /// clique-degree proxy (sum over destinations of the shard's transaction
 /// count); kDsatur falls back to kWelshPowell (true DSATUR needs the
-/// explicit graph — use ColorGraph for small instances / ablations).
-/// Colors used <= Delta + 1 where Delta is the max vertex degree of the
-/// clique-union graph (the greedy bound Lemma 1 relies on).
-ColoringResult ColorShardCliques(const std::vector<const Transaction*>& txns,
+/// explicit graph — use ColorGraph for small instances / ablations) and
+/// reports the fallback via ColoringResult::used. Colors used <= Delta + 1
+/// where Delta is the max vertex degree of the clique-union graph (the
+/// greedy bound Lemma 1 relies on).
+///
+/// The `scratch` overload bump-allocates all internal scratch (ordering
+/// arrays, shard color bitsets) from the caller's arena — the schedulers
+/// pass their per-round arena so steady-state epochs allocate nothing.
+/// The arena is used as-is (not Reset here); scratch is dead on return.
+ColoringResult ColorShardCliques(std::span<const Transaction* const> txns,
+                                 ColoringAlgorithm algorithm,
+                                 common::Arena& scratch);
+ColoringResult ColorShardCliques(std::span<const Transaction* const> txns,
                                  ColoringAlgorithm algorithm);
 
 /// Proper-coloring check at shard granularity without a graph.
-bool IsProperShardColoring(const std::vector<const Transaction*>& txns,
+bool IsProperShardColoring(std::span<const Transaction* const> txns,
                            const std::vector<Color>& color);
 
 /// Verification helper (tests, debug): proper iff no edge is monochromatic.

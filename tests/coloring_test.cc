@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "chain/account_map.h"
+#include "common/arena.h"
 #include "common/rng.h"
 #include "txn/coloring.h"
 #include "txn/conflict_graph.h"
@@ -192,6 +193,117 @@ TEST(ShardCliqueColoring, EmptyInput) {
   const auto result = ColorShardCliques({}, ColoringAlgorithm::kGreedy);
   EXPECT_EQ(result.num_colors, 0u);
   EXPECT_TRUE(result.color.empty());
+}
+
+TEST(Coloring, SpilloverPastSixtyFourColors) {
+  // 130 transactions all touching one account form K_130 and need exactly
+  // 130 colors — which walks the color bitsets past word 0 (64 colors) and
+  // through multiple spill words, covering the DSATUR saturation sets, the
+  // shard-clique spill matrix, and IsProperShardColoring's tracking sets.
+  const auto map = chain::AccountMap::RoundRobin(4, 4);
+  TxnFactory factory(map);
+  std::vector<Transaction> txns;
+  for (int i = 0; i < 130; ++i) txns.push_back(factory.MakeTouch(0, 0, {0}));
+  std::vector<const Transaction*> view;
+  for (const auto& txn : txns) view.push_back(&txn);
+  const ConflictGraph graph(view, ConflictGranularity::kShard);
+  for (const auto algorithm :
+       {ColoringAlgorithm::kGreedy, ColoringAlgorithm::kWelshPowell,
+        ColoringAlgorithm::kDsatur}) {
+    const auto result = ColorGraph(graph, algorithm);
+    EXPECT_EQ(result.num_colors, 130u) << ToString(algorithm);
+    EXPECT_TRUE(IsProperColoring(graph, result.color));
+  }
+  for (const auto algorithm :
+       {ColoringAlgorithm::kGreedy, ColoringAlgorithm::kWelshPowell}) {
+    const auto result = ColorShardCliques(view, algorithm);
+    EXPECT_EQ(result.num_colors, 130u) << ToString(algorithm);
+    EXPECT_TRUE(IsProperShardColoring(view, result.color));
+  }
+}
+
+TEST(Coloring, SpilloverProperOnMixedWorkload) {
+  // A >64-color clique embedded in a random batch: the proper-coloring
+  // guarantee must hold when some vertices' neighbor colors straddle the
+  // word-0/spill boundary while others stay below it.
+  const auto map = chain::AccountMap::RoundRobin(16, 16);
+  TxnFactory factory(map);
+  std::vector<Transaction> txns;
+  for (int i = 0; i < 80; ++i) txns.push_back(factory.MakeTouch(0, 0, {0}));
+  Rng rng(31);  // one factory for clique + tail: distinct txn ids
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t span = 1 + rng.NextBounded(4);
+    const auto picks = rng.SampleWithoutReplacement(map.account_count(), span);
+    txns.push_back(factory.MakeTouch(
+        static_cast<ShardId>(rng.NextBounded(map.shard_count())), 0,
+        std::vector<AccountId>(picks.begin(), picks.end())));
+  }
+  std::vector<const Transaction*> view;
+  for (const auto& txn : txns) view.push_back(&txn);
+  const ConflictGraph graph(view, ConflictGranularity::kShard);
+  for (const auto algorithm :
+       {ColoringAlgorithm::kGreedy, ColoringAlgorithm::kWelshPowell,
+        ColoringAlgorithm::kDsatur}) {
+    const auto result = ColorGraph(graph, algorithm);
+    EXPECT_GE(result.num_colors, 80u) << ToString(algorithm);
+    EXPECT_TRUE(IsProperColoring(graph, result.color));
+  }
+  const auto cliques = ColorShardCliques(view, ColoringAlgorithm::kGreedy);
+  EXPECT_GE(cliques.num_colors, 80u);
+  EXPECT_TRUE(IsProperShardColoring(view, cliques.color));
+  EXPECT_TRUE(IsProperColoring(graph, cliques.color));
+}
+
+TEST(ShardCliqueColoring, DsaturFallbackRecordedInMetadata) {
+  // ColorShardCliques cannot run true DSATUR without the explicit graph;
+  // the kWelshPowell fallback must be recorded in ColoringResult::used
+  // (and actually be Welsh-Powell), while ColorGraph always honors the
+  // requested algorithm.
+  const auto map = chain::AccountMap::RoundRobin(16, 16);
+  const auto txns = RandomWorkload(map, 4, 150, 21);
+  std::vector<const Transaction*> view;
+  for (const auto& txn : txns) view.push_back(&txn);
+
+  const auto dsatur = ColorShardCliques(view, ColoringAlgorithm::kDsatur);
+  EXPECT_EQ(dsatur.used, ColoringAlgorithm::kWelshPowell);
+  const auto wp = ColorShardCliques(view, ColoringAlgorithm::kWelshPowell);
+  EXPECT_EQ(wp.used, ColoringAlgorithm::kWelshPowell);
+  EXPECT_EQ(dsatur.color, wp.color);  // the fallback really ran Welsh-Powell
+  EXPECT_EQ(dsatur.num_colors, wp.num_colors);
+  EXPECT_EQ(ColorShardCliques(view, ColoringAlgorithm::kGreedy).used,
+            ColoringAlgorithm::kGreedy);
+
+  const ConflictGraph graph(view, ConflictGranularity::kShard);
+  EXPECT_EQ(ColorGraph(graph, ColoringAlgorithm::kDsatur).used,
+            ColoringAlgorithm::kDsatur);
+  EXPECT_EQ(ColorGraph(graph, ColoringAlgorithm::kWelshPowell).used,
+            ColoringAlgorithm::kWelshPowell);
+  EXPECT_EQ(ColorGraph(graph, ColoringAlgorithm::kGreedy).used,
+            ColoringAlgorithm::kGreedy);
+}
+
+TEST(ShardCliqueColoring, ArenaOverloadMatchesAndRecyclesScratch) {
+  // The arena-backed overload must produce the identical assignment as the
+  // self-allocating one, and repeated rounds against a Reset() arena must
+  // settle into a single reused chunk (the steady state the schedulers
+  // rely on for zero per-round allocator traffic).
+  common::Arena arena;
+  const auto map = chain::AccountMap::RoundRobin(32, 32);
+  for (const std::uint64_t seed : {41ull, 42ull, 43ull, 44ull}) {
+    const auto txns = RandomWorkload(map, 6, 300, seed);
+    std::vector<const Transaction*> view;
+    for (const auto& txn : txns) view.push_back(&txn);
+    for (const auto algorithm : {ColoringAlgorithm::kGreedy,
+                                 ColoringAlgorithm::kWelshPowell}) {
+      arena.Reset();
+      const auto with_arena = ColorShardCliques(view, algorithm, arena);
+      const auto standalone = ColorShardCliques(view, algorithm);
+      EXPECT_EQ(with_arena.color, standalone.color) << ToString(algorithm);
+      EXPECT_EQ(with_arena.num_colors, standalone.num_colors);
+      EXPECT_GT(arena.memory().used_bytes, 0u);
+    }
+  }
+  EXPECT_EQ(arena.memory().chunks, 1u);
 }
 
 TEST(Coloring, ImproperColoringDetected) {

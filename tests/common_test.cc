@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
 
+#include "common/arena.h"
 #include "common/csv.h"
 #include "common/math_util.h"
 #include "common/rng.h"
@@ -249,6 +251,90 @@ TEST(Mix64, DistinctInputsMix) {
   std::set<std::uint64_t> outputs;
   for (std::uint64_t i = 0; i < 1000; ++i) outputs.insert(Mix64(i));
   EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Arena, AllocationsAlignedAndRewoundByReset) {
+  common::Arena arena;
+  auto* first = arena.AllocateArray<std::uint64_t>(10);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(first) % alignof(std::uint64_t),
+            0u);
+  // A 3-byte allocation misaligns the cursor; the next uint64_t array must
+  // be re-aligned, with the padding counted toward the usage mark.
+  arena.AllocateArray<std::uint8_t>(3);
+  auto* second = arena.AllocateArray<std::uint64_t>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(second) % alignof(std::uint64_t),
+            0u);
+  for (int i = 0; i < 10; ++i) first[i] = 0xABCDu + i;
+  *second = 99;
+  EXPECT_EQ(first[9], 0xABCDu + 9);
+
+  // Reset rewinds the bump pointer: a single resident chunk below the
+  // shrink floor is kept, so the same storage is handed out again.
+  arena.Reset();
+  auto* reused = arena.AllocateArray<std::uint64_t>(10);
+  EXPECT_EQ(reused, first);
+}
+
+TEST(Arena, MemoryStatsTrackUsageResetsAndHighWater) {
+  common::Arena arena;
+  EXPECT_EQ(arena.memory().reserved_bytes, 0u);
+  EXPECT_EQ(arena.memory().chunks, 0u);
+  arena.AllocateArray<std::uint32_t>(100);
+  auto stats = arena.memory();
+  EXPECT_GE(stats.used_bytes, 400u);
+  EXPECT_GE(stats.reserved_bytes, stats.used_bytes);
+  EXPECT_EQ(stats.chunks, 1u);
+  EXPECT_EQ(stats.resets, 0u);
+  arena.Reset();
+  stats = arena.memory();
+  EXPECT_EQ(stats.used_bytes, 0u);
+  EXPECT_EQ(stats.resets, 1u);
+  EXPECT_GE(stats.high_water_bytes, 400u);  // the round's peak survives
+
+  common::ArenaMemoryStats sum = stats;
+  sum += stats;  // per-shard aggregation in Scheduler::ArenaMemory()
+  EXPECT_EQ(sum.resets, 2 * stats.resets);
+  EXPECT_EQ(sum.high_water_bytes, 2 * stats.high_water_bytes);
+}
+
+TEST(Arena, OverflowGrowsThenResetCoalescesToOneChunk) {
+  common::Arena arena(common::Arena::kMinChunkBytes);
+  arena.AllocateArray<std::byte>(common::Arena::kMinChunkBytes);
+  arena.AllocateArray<std::byte>(3 * common::Arena::kMinChunkBytes);
+  EXPECT_GE(arena.memory().chunks, 2u);  // the round outgrew its reservation
+  arena.Reset();
+  const auto stats = arena.memory();
+  EXPECT_EQ(stats.chunks, 1u);  // coalesced into one right-sized chunk
+  EXPECT_GE(stats.reserved_bytes, 4u * common::Arena::kMinChunkBytes);
+}
+
+TEST(Arena, ShrinksAfterSpikeDecays) {
+  common::Arena arena;
+  // One spiked round far past the shrink floor...
+  arena.AllocateArray<std::byte>(1 << 20);
+  arena.Reset();
+  const auto spiked = arena.memory().reserved_bytes;
+  EXPECT_GE(spiked, std::uint64_t{1} << 20);
+  // ... then steady small rounds: the decayed high-water mark falls until
+  // the oversized reservation is released and re-sized to the small load.
+  for (int round = 0; round < 64; ++round) {
+    arena.AllocateArray<std::byte>(256);
+    arena.Reset();
+  }
+  EXPECT_LT(arena.memory().reserved_bytes, spiked);
+  EXPECT_EQ(arena.memory().chunks, 1u);
+}
+
+TEST(ArenaVector, BackedByArenaScratch) {
+  common::Arena arena;
+  common::ArenaVector<std::uint32_t> values{
+      common::ArenaAllocator<std::uint32_t>(&arena)};
+  for (std::uint32_t i = 0; i < 100; ++i) values.push_back(i);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(values[i], i);
+  // Growth reallocations never free (deallocate is a no-op), so usage
+  // reflects the doubling history, all of it reclaimed by one Reset().
+  EXPECT_GE(arena.memory().used_bytes, 100u * sizeof(std::uint32_t));
 }
 
 }  // namespace

@@ -66,6 +66,7 @@ TEST(Engine, SweepWithInnerParallelConfigsMatchesSerialRuns) {
     config.rounds = 300;
     config.drain_cap = 20000;
     config.worker_threads = 4;
+    config.min_shards_per_worker = 1;  // force the pool despite s = 16
     config.seed = seed;
     configs.push_back(config);
   }
@@ -81,6 +82,35 @@ TEST(Engine, SweepWithInnerParallelConfigsMatchesSerialRuns) {
     EXPECT_DOUBLE_EQ(sweep[i].result.avg_pending_per_shard,
                      expected.avg_pending_per_shard);
   }
+}
+
+TEST(Engine, SmallGridThresholdFallsBackToSerial) {
+  // s = 16 sits far below the default min_shards_per_worker = 128, so a
+  // worker_threads = 4 config must silently serialize — visible through
+  // effective_workers() — and produce exactly the serial results. Forcing
+  // the threshold down to 1 turns the pool back on; results stay
+  // bit-identical either way.
+  SimConfig config = SmallConfig("fds");
+  config.rounds = 200;
+  config.drain_cap = 20000;
+  config.worker_threads = 4;
+
+  Simulation fallback(config);  // default threshold: pool skipped
+  EXPECT_EQ(fallback.effective_workers(), 1u);
+  const auto fallback_result = fallback.Run();
+
+  config.min_shards_per_worker = 1;
+  Simulation pooled(config);
+  EXPECT_EQ(pooled.effective_workers(), 4u);
+  const auto pooled_result = pooled.Run();
+
+  config.worker_threads = 1;
+  Simulation serial(config);
+  EXPECT_EQ(serial.effective_workers(), 1u);
+  const auto serial_result = serial.Run();
+
+  test::ExpectBitIdenticalResults(fallback_result, serial_result);
+  test::ExpectBitIdenticalResults(pooled_result, serial_result);
 }
 
 TEST(Engine, SeriesRecording) {

@@ -29,6 +29,9 @@ SimResult RunPipelined(SimConfig config, std::uint32_t workers,
                        bool pipeline) {
   config.worker_threads = workers;
   config.pipeline = pipeline;
+  // Force the pool on: the test grids sit below the small-grid threshold,
+  // and a silently serialized run would not exercise the pipeline at all.
+  config.min_shards_per_worker = 1;
   Simulation sim(config);
   return sim.Run();
 }
@@ -111,6 +114,7 @@ TEST(ParallelEngine, PipelinedBurstAndDrainIdentical) {
   ExpectBitIdenticalResults(serial, pipelined);
 
   config.worker_threads = 8;
+  config.min_shards_per_worker = 1;
   Simulation sim(config);
   const SimResult result = sim.Run();
   EXPECT_GT(result.injected, 0u);
@@ -142,6 +146,7 @@ TEST(ParallelEngine, DrainedInvariantsHoldUnderThreads) {
   for (const char* scheduler : {"bds", "fds"}) {
     SimConfig config = SmallConfig(scheduler);
     config.worker_threads = 4;
+    config.min_shards_per_worker = 1;
     config.rounds = 800;
     Simulation sim(config);
     const auto result = sim.Run();

@@ -33,10 +33,14 @@ inline core::SimConfig SmallConfig(const std::string& scheduler) {
   return config;
 }
 
-/// Run `config` once with the given worker-thread count.
+/// Run `config` once with the given worker-thread count. Forces the pool
+/// on (min_shards_per_worker = 1): the test grids are far below the
+/// default small-grid threshold, and silently serialized workers would
+/// make every worker-count determinism assertion vacuous.
 inline core::SimResult RunWithWorkers(core::SimConfig config,
                                       std::uint32_t workers) {
   config.worker_threads = workers;
+  config.min_shards_per_worker = 1;
   core::Simulation sim(config);
   return sim.Run();
 }
