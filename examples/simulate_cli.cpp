@@ -1,8 +1,8 @@
 // simulate_cli: the library as a command-line tool — run any scheduler /
 // topology / adversary combination and print (or CSV-dump) the metrics.
 //
-//   build/examples/simulate_cli --scheduler=fds --topology=line \
-//       --shards=64 --k=8 --rho=0.12 --b=2000 --rounds=25000 \
+//   build/examples/simulate_cli --scheduler=fds --topology=line
+//       --shards=64 --k=8 --rho=0.12 --b=2000 --rounds=25000
 //       --strategy=uniform_random --seed=1 [--csv=out.csv] [--series=1000]
 //
 // Run with --help for all options.

@@ -23,6 +23,7 @@ void AccountStore::Apply(const Action& action) {
 
 Balance AccountStore::TotalBalance() const {
   Balance total = 0;
+  // lint:allow(unordered-iteration): integer sum, order-independent.
   for (const auto& [account, balance] : balances_) {
     (void)account;
     total += balance;

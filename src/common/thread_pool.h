@@ -14,14 +14,15 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace stableshard {
 
@@ -92,13 +93,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  common::Mutex mutex_;
+  common::CondVar work_available_;
+  common::CondVar all_done_;
+  std::deque<std::function<void()>> queue_ SSHARD_GUARDED_BY(mutex_);
+  /// Immutable after the constructor returns (workers never join until the
+  /// destructor), so thread_count() reads it without the mutex.
   std::vector<std::thread> workers_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  std::size_t in_flight_ SSHARD_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ SSHARD_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace stableshard

@@ -24,6 +24,9 @@ BackpressureScheduler::BackpressureScheduler(
 }
 
 void BackpressureScheduler::Inject(const txn::Transaction& txn) {
+  // The hot marks and spill queues are serial-only state; park/admit
+  // decisions during a parallel phase would race with the round body.
+  SSHARD_SERIAL_PHASE(inner_->ownership());
   if (hot_[txn.home()]) {
     spill_[txn.home()].push_back(txn);
     ++spilled_now_;
@@ -39,6 +42,7 @@ void BackpressureScheduler::BeginRound(Round round) {
   // runs the hysteresis gate. Everything read here is folded serially by
   // the epilogue, so the branch outcomes are identical whatever the
   // worker count or pipeline mode.
+  SSHARD_SERIAL_PHASE(inner_->ownership());
   const ShardId shards = inner_->shard_count();
   for (ShardId shard = 0; shard < shards; ++shard) {
     // Congestion signal: the round's inflow (spiky — FDS ships subtxn
@@ -98,18 +102,27 @@ void BackpressureScheduler::EndRound(Round round) {
   inner_->EndRound(round);
 }
 
+// The epilogue trio delegates through the Scheduler interface on purpose:
+// FdsScheduler's overrides carry thread-safety annotations naming its
+// private capabilities, which this wrapper neither holds nor tracks —
+// calling via the unannotated base keeps the wrapper transparent to the
+// analysis (the capabilities are acquired and released inside one
+// inner call chain either way).
 void BackpressureScheduler::SealRound(Round round, std::uint32_t parts) {
-  inner_->SealRound(round, parts);
+  core::Scheduler& base = *inner_;
+  base.SealRound(round, parts);
 }
 
 void BackpressureScheduler::FlushRoundPartition(Round round,
                                                 std::uint32_t part,
                                                 std::uint32_t parts) {
-  inner_->FlushRoundPartition(round, part, parts);
+  core::Scheduler& base = *inner_;
+  base.FlushRoundPartition(round, part, parts);
 }
 
 void BackpressureScheduler::FinishRound(Round round) {
-  inner_->FinishRound(round);
+  core::Scheduler& base = *inner_;
+  base.FinishRound(round);
 }
 
 bool BackpressureScheduler::Idle() const {

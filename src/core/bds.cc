@@ -15,6 +15,7 @@ BdsScheduler::BdsScheduler(const net::ShardMetric& metric,
       config_(config),
       network_(metric),
       outbox_(metric.shard_count()),
+      ownership_(metric.shard_count()),
       pending_(metric.shard_count()),
       home_(metric.shard_count()),
       dest_pending_(metric.shard_count()),
@@ -30,6 +31,7 @@ BdsScheduler::BdsScheduler(const net::ShardMetric& metric,
 }
 
 void BdsScheduler::Inject(const txn::Transaction& txn) {
+  SSHARD_SERIAL_PHASE(ownership_);
   SSHARD_CHECK(txn.home() < pending_.size());
   pending_[txn.home()].push_back(txn);
 }
@@ -49,6 +51,9 @@ bool BdsScheduler::Idle() const {
 }
 
 void BdsScheduler::BeginRound(Round round) {
+  // The serial prologue itself may touch any shard; arm the step-phase
+  // guards for the StepShard fan-out that follows (core/ownership.h).
+  ownership_.BeginStepPhase();
   phase_ = Phase::kNone;
   send_color_.reset();
 
@@ -88,6 +93,7 @@ void BdsScheduler::BeginRound(Round round) {
 }
 
 void BdsScheduler::StepShard(ShardId shard, Round round) {
+  const OwnershipRegistry::ShardClaim claim(ownership_, shard);
   network_.DeliverTo(shard, round, inbox_[shard]);
   for (auto& envelope : inbox_[shard]) {
     HandleMessage(shard, envelope.from, envelope.payload, round);
@@ -106,24 +112,29 @@ void BdsScheduler::StepShard(ShardId shard, Round round) {
 }
 
 void BdsScheduler::EndRound(Round round) {
+  ownership_.EndParallelPhase();
   outbox_.Flush(network_, round);
   ledger_->FlushRound(round);
 }
 
 void BdsScheduler::SealRound(Round round, std::uint32_t parts) {
   (void)round;
+  ownership_.BeginFlushPhase();
   outbox_.Seal();
+  network_.flush_cap.Acquire();  // annotation-only, no runtime effect
   ledger_->SealJournal(parts);
 }
 
 void BdsScheduler::FlushRoundPartition(Round round, std::uint32_t part,
                                        std::uint32_t parts) {
   const auto [begin, end] = FlushShardRange(shard_count(), part, parts);
+  const OwnershipRegistry::RangeClaim claim(ownership_, begin, end);
   outbox_.FlushSealedTo(network_, round, begin, end);
   ledger_->ResolveSealedPartition(part, round);
 }
 
 void BdsScheduler::FinishRound(Round round) {
+  ownership_.EndParallelPhase();
   outbox_.FinishSealedFlush(network_);
   ledger_->FinishSealedRound(round);
 }
@@ -131,6 +142,7 @@ void BdsScheduler::FinishRound(Round round) {
 void BdsScheduler::ShipPending(ShardId home) {
   // Phase 1: the home shard ships its whole pending queue to the leader.
   // Also resets the home's per-color schedule from the finished epoch.
+  SSHARD_OWNED(ownership_, home);
   HomeState& state = home_[home];
   state.by_color.clear();
   auto& queue = pending_[home];
@@ -156,6 +168,7 @@ void BdsScheduler::LeaderColorAndReply(Round round) {
   // The view and the coloring's internal scratch live in the step arena:
   // one Reset here recycles the previous epoch's allocations, so steady
   // state epochs touch no heap.
+  SSHARD_OWNED(ownership_, leader_);
   step_arena_.Reset();
   common::ArenaVector<const txn::Transaction*> view{
       common::ArenaAllocator<const txn::Transaction*>(&step_arena_)};
@@ -196,6 +209,7 @@ void BdsScheduler::LeaderColorAndReply(Round round) {
 void BdsScheduler::SendSubTxnsForColor(ShardId home, Color color) {
   // Phase 3, per-color round 1: the home shard splits its color-`color`
   // transactions into subtransactions sent to the destination shards.
+  SSHARD_OWNED(ownership_, home);
   HomeState& state = home_[home];
   if (color >= state.by_color.size()) return;
   for (const TxnId id : state.by_color[color]) {
@@ -215,6 +229,10 @@ void BdsScheduler::SendSubTxnsForColor(ShardId home, Color color) {
 
 void BdsScheduler::HandleMessage(ShardId shard, ShardId from,
                                  Message& message, Round round) {
+  // Every branch mutates state owned by `shard` (leader inbox, home 2PC
+  // records, destination residue) — reject deliveries routed to a shard
+  // the calling worker does not own.
+  SSHARD_OWNED(ownership_, shard);
   (void)from;
   if (auto* batch = std::get_if<TxnBatchMsg>(&message)) {
     // Phase 1 arrival at the leader.

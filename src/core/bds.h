@@ -49,9 +49,11 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/commit_ledger.h"
 #include "core/messages.h"
+#include "core/ownership.h"
 #include "core/scheduler.h"
 #include "net/metric.h"
 #include "net/network.h"
@@ -75,11 +77,18 @@ class BdsScheduler final : public Scheduler {
   void Inject(const txn::Transaction& txn) override;
   void BeginRound(Round round) override;
   void StepShard(ShardId shard, Round round) override;
-  void EndRound(Round round) override;
-  void SealRound(Round round, std::uint32_t parts) override;
+  void EndRound(Round round) override
+      SSHARD_EXCLUDES(outbox_.sealed_cap, ledger_->journal_cap);
+  void SealRound(Round round, std::uint32_t parts) override
+      SSHARD_ACQUIRE(outbox_.sealed_cap, network_.flush_cap,
+                     ledger_->journal_cap);
   void FlushRoundPartition(Round round, std::uint32_t part,
-                           std::uint32_t parts) override;
-  void FinishRound(Round round) override;
+                           std::uint32_t parts) override
+      SSHARD_REQUIRES(outbox_.sealed_cap, network_.flush_cap,
+                      ledger_->journal_cap);
+  void FinishRound(Round round) override
+      SSHARD_RELEASE(outbox_.sealed_cap, network_.flush_cap,
+                     ledger_->journal_cap);
   ShardId shard_count() const override { return metric_->shard_count(); }
   bool Idle() const override;
   std::uint64_t MessagesSent() const override {
@@ -143,6 +152,10 @@ class BdsScheduler final : public Scheduler {
   BdsConfig config_;
   net::Network<Message> network_;
   net::OutboxSet<Message> outbox_;
+  /// Debug-build shard-ownership checker (see core/ownership.h): StepShard
+  /// claims its shard, FlushRoundPartition its destination range, and the
+  /// shard-owned helpers below guard with SSHARD_OWNED. Empty in Release.
+  OwnershipRegistry ownership_;
 
   // Home-shard injection queues (new transactions awaiting the next epoch).
   std::vector<std::deque<txn::Transaction>> pending_;

@@ -93,6 +93,7 @@ void CommitLedger::FlushRound(Round round) {
 }
 
 void CommitLedger::SealJournal(std::uint32_t parts) {
+  journal_cap.Acquire();  // annotation-only, no runtime effect
   SSHARD_CHECK(parts >= 1);
 #ifndef NDEBUG
   for (const std::vector<JournalEntry>& shard_journal : sealed_journal_) {
@@ -168,6 +169,7 @@ void CommitLedger::FinishSealedRound(Round round) {
     shard_journal.clear();
   }
   sealed_parts_ = 0;
+  journal_cap.Release();  // annotation-only, no runtime effect
 }
 
 void CommitLedger::ResolveConfirm(TxnId txn, bool commit, Round round) {

@@ -45,6 +45,8 @@
 #include "chain/account_map.h"
 #include "chain/account_store.h"
 #include "chain/local_chain.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "stats/latency_recorder.h"
 #include "txn/transaction.h"
@@ -53,11 +55,21 @@ namespace stableshard::core {
 
 class CommitLedger {
  public:
+  /// Annotation-only capability for the sealed-journal window: SealJournal
+  /// acquires it, ResolveSealedPartition requires it, FinishSealedRound
+  /// releases it, and every serial-path mutation (RegisterInjection,
+  /// ApplyConfirm, FlushRound) excludes it — so on clang, mutating the
+  /// ledger inside a Seal..Finish window fails compilation (the class
+  /// comment's "no other ledger mutation may overlap" contract). Public so
+  /// schedulers' annotations can name it; no runtime state.
+  common::PhaseCapability journal_cap;
+
   CommitLedger(const chain::AccountMap& map, chain::Balance initial_balance);
 
   /// Register a newly injected transaction (latency clock starts; expected
   /// subtransaction count recorded).
-  void RegisterInjection(const txn::Transaction& txn);
+  void RegisterInjection(const txn::Transaction& txn)
+      SSHARD_EXCLUDES(journal_cap);
 
   /// Vote decision for a subtransaction on its destination shard's current
   /// state: all conditions hold and all actions are valid.
@@ -68,7 +80,7 @@ class CommitLedger {
   /// the actions and appends a block to the destination's local chain.
   /// Returns true if the whole transaction became resolved by this call.
   bool ApplyConfirm(TxnId txn, const txn::SubTransaction& sub, bool commit,
-                    Round round);
+                    Round round) SSHARD_EXCLUDES(journal_cap);
 
   /// Shard-local half of ApplyConfirm for the parallel round loop: applies
   /// the commit effects to `sub.destination`'s store/chain (with the same
@@ -81,13 +93,13 @@ class CommitLedger {
   /// Serial: drain the per-shard journals (in shard order) filled by
   /// ApplyConfirmDeferred during round `round`, updating resolution
   /// records, counters and latency.
-  void FlushRound(Round round);
+  void FlushRound(Round round) SSHARD_EXCLUDES(journal_cap);
 
   /// Serial: swap the active journal with the (drained) sealed one and set
   /// up `parts` completion buffers for the partitioned resolution. The next
   /// round's ApplyConfirmDeferred calls land in fresh journals while pool
   /// workers drain the sealed copy.
-  void SealJournal(std::uint32_t parts);
+  void SealJournal(std::uint32_t parts) SSHARD_ACQUIRE(journal_cap);
 
   /// Parallel-safe: apply the sealed journal entries owned by `part`
   /// (txn % parts == part, walking destinations in shard order) — record
@@ -95,12 +107,13 @@ class CommitLedger {
   /// index. Each TxnRecord is touched by exactly one partition. No other
   /// ledger mutation (RegisterInjection included) may overlap the
   /// Seal..Finish window.
-  void ResolveSealedPartition(std::uint32_t part, Round round);
+  void ResolveSealedPartition(std::uint32_t part, Round round)
+      SSHARD_REQUIRES(journal_cap);
 
   /// Serial epilogue: merge the partitions' completion buffers back into
   /// global journal order and apply counters + latency, then retire the
   /// sealed journals.
-  void FinishSealedRound(Round round);
+  void FinishSealedRound(Round round) SSHARD_RELEASE(journal_cap);
 
   bool IsResolved(TxnId txn) const;
 

@@ -12,20 +12,28 @@ DirectScheduler::DirectScheduler(const net::ShardMetric& metric,
     : ledger_(&ledger),
       network_(metric),
       outbox_(metric.shard_count()),
+      ownership_(metric.shard_count()),
       protocol_(metric.shard_count(), outbox_, ledger,
                 /*on_decided=*/nullptr),
       inject_by_home_(metric.shard_count()),
       inbox_(metric.shard_count()) {}
 
 void DirectScheduler::Inject(const txn::Transaction& txn) {
+  SSHARD_SERIAL_PHASE(ownership_);
   SSHARD_CHECK(txn.home() < inject_by_home_.size());
   inject_by_home_[txn.home()].push_back(txn);
   ++injected_waiting_;
 }
 
-void DirectScheduler::BeginRound(Round round) { (void)round; }
+void DirectScheduler::BeginRound(Round round) {
+  (void)round;
+  ownership_.BeginStepPhase();
+}
 
 void DirectScheduler::StepShard(ShardId shard, Round round) {
+  const OwnershipRegistry::ShardClaim claim(ownership_, shard);
+  SSHARD_OWNED(ownership_, shard);  // inbox_ and inject_by_home_ are
+                                    // shard-owned
   network_.DeliverTo(shard, round, inbox_[shard]);
   for (auto& envelope : inbox_[shard]) {
     const bool handled =
@@ -48,6 +56,7 @@ void DirectScheduler::StepShard(ShardId shard, Round round) {
 }
 
 void DirectScheduler::EndRound(Round round) {
+  ownership_.EndParallelPhase();
   injected_waiting_ = 0;
   outbox_.Flush(network_, round);
   ledger_->FlushRound(round);
@@ -55,18 +64,22 @@ void DirectScheduler::EndRound(Round round) {
 
 void DirectScheduler::SealRound(Round round, std::uint32_t parts) {
   (void)round;
+  ownership_.BeginFlushPhase();
   outbox_.Seal();
+  network_.flush_cap.Acquire();  // annotation-only, no runtime effect
   ledger_->SealJournal(parts);
 }
 
 void DirectScheduler::FlushRoundPartition(Round round, std::uint32_t part,
                                           std::uint32_t parts) {
   const auto [begin, end] = FlushShardRange(shard_count(), part, parts);
+  const OwnershipRegistry::RangeClaim claim(ownership_, begin, end);
   outbox_.FlushSealedTo(network_, round, begin, end);
   ledger_->ResolveSealedPartition(part, round);
 }
 
 void DirectScheduler::FinishRound(Round round) {
+  ownership_.EndParallelPhase();
   injected_waiting_ = 0;
   outbox_.FinishSealedFlush(network_);
   ledger_->FinishSealedRound(round);

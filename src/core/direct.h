@@ -20,10 +20,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/commit_ledger.h"
 #include "core/commit_protocol.h"
 #include "core/messages.h"
+#include "core/ownership.h"
 #include "core/scheduler.h"
 #include "net/metric.h"
 #include "net/network.h"
@@ -38,11 +40,18 @@ class DirectScheduler final : public Scheduler {
   void Inject(const txn::Transaction& txn) override;
   void BeginRound(Round round) override;
   void StepShard(ShardId shard, Round round) override;
-  void EndRound(Round round) override;
-  void SealRound(Round round, std::uint32_t parts) override;
+  void EndRound(Round round) override
+      SSHARD_EXCLUDES(outbox_.sealed_cap, ledger_->journal_cap);
+  void SealRound(Round round, std::uint32_t parts) override
+      SSHARD_ACQUIRE(outbox_.sealed_cap, network_.flush_cap,
+                     ledger_->journal_cap);
   void FlushRoundPartition(Round round, std::uint32_t part,
-                           std::uint32_t parts) override;
-  void FinishRound(Round round) override;
+                           std::uint32_t parts) override
+      SSHARD_REQUIRES(outbox_.sealed_cap, network_.flush_cap,
+                      ledger_->journal_cap);
+  void FinishRound(Round round) override
+      SSHARD_RELEASE(outbox_.sealed_cap, network_.flush_cap,
+                     ledger_->journal_cap);
   ShardId shard_count() const override {
     return network_.metric().shard_count();
   }
@@ -71,6 +80,9 @@ class DirectScheduler final : public Scheduler {
   CommitLedger* ledger_;
   net::Network<Message> network_;
   net::OutboxSet<Message> outbox_;
+  /// Debug-build shard-ownership checker (see core/ownership.h). Empty in
+  /// Release.
+  OwnershipRegistry ownership_;
   CommitProtocol protocol_;
   std::vector<std::vector<txn::Transaction>> inject_by_home_;
   /// Per-shard delivery buffers: DeliverTo swaps the due ring slot with the

@@ -11,6 +11,9 @@ namespace stableshard::core {
 
 namespace {
 
+// Phase timing telemetry only — no simulation decision ever reads it, so
+// results stay bit-identical across hosts.
+// lint:allow(wall-clock): wall-clock feeds phase_times_ telemetry only.
 using Clock = std::chrono::steady_clock;
 
 inline double SecondsSince(Clock::time_point start) {

@@ -18,6 +18,7 @@ FdsScheduler::FdsScheduler(const net::ShardMetric& metric,
       config_(config),
       network_(metric),
       outbox_(metric.shard_count()),
+      ownership_(metric.shard_count()),
       protocol_(metric.shard_count(), outbox_, ledger,
                 [this](TxnId txn, std::uint32_t cluster, bool committed) {
                   OnDecided(txn, cluster, committed);
@@ -58,6 +59,7 @@ std::uint64_t FdsScheduler::reschedules() const {
 }
 
 void FdsScheduler::Inject(const txn::Transaction& txn) {
+  SSHARD_SERIAL_PHASE(ownership_);
   // Home cluster: lowest-level cluster covering the x-neighborhood of the
   // home shard, x = distance to the farthest destination (Section 6.1).
   Distance x = 0;
@@ -79,6 +81,7 @@ void FdsScheduler::OnDecided(TxnId txn, std::uint32_t cluster,
                              bool committed) {
   // Runs in the coordinating (leader) shard's StepShard: the cluster's
   // sch_ldr is that shard's state.
+  SSHARD_OWNED(ownership_, hierarchy_->clusters()[cluster].leader);
   (void)committed;
   ClusterState& state = cluster_state_[cluster];
   const auto erased = state.active.erase(txn);
@@ -86,6 +89,9 @@ void FdsScheduler::OnDecided(TxnId txn, std::uint32_t cluster,
 }
 
 void FdsScheduler::BeginRound(Round round) {
+  // The serial prologue itself may touch any shard; arm the step-phase
+  // guards for the StepShard fan-out that follows (core/ownership.h).
+  ownership_.BeginStepPhase();
   // Plan this round's colorings, grouped by leader shard, in the same
   // deterministic leadered_clusters_ order the monolithic loop used.
   for (std::vector<std::uint32_t>& lane : coloring_work_) lane.clear();
@@ -102,6 +108,7 @@ void FdsScheduler::BeginRound(Round round) {
 }
 
 void FdsScheduler::StepShard(ShardId shard, Round round) {
+  const OwnershipRegistry::ShardClaim claim(ownership_, shard);
   // Deliver: protocol messages are handled inline; Phase-1 batches land in
   // the leader's incoming set.
   network_.DeliverTo(shard, round, inbox_[shard]);
@@ -149,30 +156,36 @@ void FdsScheduler::StepShard(ShardId shard, Round round) {
 }
 
 void FdsScheduler::EndRound(Round round) {
+  ownership_.EndParallelPhase();
   outbox_.Flush(network_, round);
   ledger_->FlushRound(round);
 }
 
 void FdsScheduler::SealRound(Round round, std::uint32_t parts) {
   (void)round;
+  ownership_.BeginFlushPhase();
   outbox_.Seal();
+  network_.flush_cap.Acquire();  // annotation-only, no runtime effect
   ledger_->SealJournal(parts);
 }
 
 void FdsScheduler::FlushRoundPartition(Round round, std::uint32_t part,
                                        std::uint32_t parts) {
   const auto [begin, end] = FlushShardRange(shard_count(), part, parts);
+  const OwnershipRegistry::RangeClaim claim(ownership_, begin, end);
   outbox_.FlushSealedTo(network_, round, begin, end);
   ledger_->ResolveSealedPartition(part, round);
 }
 
 void FdsScheduler::FinishRound(Round round) {
+  ownership_.EndParallelPhase();
   outbox_.FinishSealedFlush(network_);
   ledger_->FinishSealedRound(round);
 }
 
 void FdsScheduler::RunColoring(const cluster::Cluster& cluster,
                                ShardId leader, Round round) {
+  SSHARD_OWNED(ownership_, leader);
   ClusterState& state = cluster_state_[cluster.id];
   const Round e_i = epoch_length(cluster.layer);
   const Round epoch_start = (round / e_i) * e_i;
@@ -197,10 +210,20 @@ void FdsScheduler::RunColoring(const cluster::Cluster& cluster,
   for (const auto& txn : state.incoming) view.push_back(&txn);
   if (reschedule) {
     ++reschedules_by_shard_[leader];
+    // sch_ldr is an unordered_map and the coloring result depends on view
+    // order, so the undecided set must be sorted into a platform-neutral
+    // order (by txn id) before it feeds the coloring.
+    const std::size_t first_active = view.size();
+    // lint:allow(unordered-iteration): sorted by txn id immediately below.
     for (const auto& [id, txn] : state.active) {
       (void)id;
       view.push_back(&txn);
     }
+    std::sort(view.begin() + static_cast<std::ptrdiff_t>(first_active),
+              view.end(),
+              [](const txn::Transaction* a, const txn::Transaction* b) {
+                return a->id() < b->id();
+              });
   }
 
   const txn::ColoringResult coloring =

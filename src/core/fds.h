@@ -54,10 +54,12 @@
 
 #include "cluster/hierarchy.h"
 #include "common/arena.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/commit_ledger.h"
 #include "core/commit_protocol.h"
 #include "core/messages.h"
+#include "core/ownership.h"
 #include "core/scheduler.h"
 #include "net/metric.h"
 #include "net/network.h"
@@ -87,11 +89,18 @@ class FdsScheduler final : public Scheduler {
   void Inject(const txn::Transaction& txn) override;
   void BeginRound(Round round) override;
   void StepShard(ShardId shard, Round round) override;
-  void EndRound(Round round) override;
-  void SealRound(Round round, std::uint32_t parts) override;
+  void EndRound(Round round) override
+      SSHARD_EXCLUDES(outbox_.sealed_cap, ledger_->journal_cap);
+  void SealRound(Round round, std::uint32_t parts) override
+      SSHARD_ACQUIRE(outbox_.sealed_cap, network_.flush_cap,
+                     ledger_->journal_cap);
   void FlushRoundPartition(Round round, std::uint32_t part,
-                           std::uint32_t parts) override;
-  void FinishRound(Round round) override;
+                           std::uint32_t parts) override
+      SSHARD_REQUIRES(outbox_.sealed_cap, network_.flush_cap,
+                      ledger_->journal_cap);
+  void FinishRound(Round round) override
+      SSHARD_RELEASE(outbox_.sealed_cap, network_.flush_cap,
+                     ledger_->journal_cap);
   ShardId shard_count() const override { return metric_->shard_count(); }
   bool Idle() const override;
   double LeaderQueueMean() const override;
@@ -123,6 +132,7 @@ class FdsScheduler final : public Scheduler {
   /// wrapper watermarks. O(clusters led by `shard`) per call, serial
   /// phases only.
   std::uint64_t QueueDepth(ShardId shard) const override {
+    SSHARD_SERIAL_PHASE(ownership_);
     std::uint64_t depth = network_.pending_for(shard);
     for (const std::uint32_t id : clusters_led_by_[shard]) {
       const ClusterState& state = cluster_state_[id];
@@ -143,6 +153,9 @@ class FdsScheduler final : public Scheduler {
   std::uint64_t retracts() const { return protocol_.retracts_sent(); }
   const cluster::Hierarchy& hierarchy() const { return *hierarchy_; }
   const net::Network<Message>& network() const { return network_; }
+  /// The shard-ownership checker, exposed so wrappers (backpressure) can
+  /// guard their own serial-only state against the same phase machine.
+  const OwnershipRegistry& ownership() const { return ownership_; }
 
  private:
   /// Cluster scheduling state, owned by the cluster's leader shard.
@@ -164,6 +177,10 @@ class FdsScheduler final : public Scheduler {
   FdsConfig config_;
   net::Network<Message> network_;
   net::OutboxSet<Message> outbox_;
+  /// Debug-build shard-ownership checker (see core/ownership.h): StepShard
+  /// claims its shard, FlushRoundPartition its destination range, and the
+  /// leader-owned helpers guard with SSHARD_OWNED. Empty in Release.
+  OwnershipRegistry ownership_;
   CommitProtocol protocol_;
 
   Round e0_ = 4;  ///< base (layer-0) epoch length

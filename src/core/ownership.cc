@@ -1,0 +1,78 @@
+#include "core/ownership.h"
+
+#ifndef NDEBUG
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stableshard::core {
+
+thread_local OwnershipRegistry::ThreadClaim OwnershipRegistry::tls_claim_{};
+
+namespace {
+
+const char* PhaseName(OwnershipRegistry::Phase phase) {
+  switch (phase) {
+    case OwnershipRegistry::Phase::kSerial:
+      return "serial";
+    case OwnershipRegistry::Phase::kStep:
+      return "step";
+    case OwnershipRegistry::Phase::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void OwnershipRegistry::AssertShardOwned(ShardId shard) const {
+  if (phase_ == Phase::kSerial) return;
+  const ThreadClaim& claim = tls_claim_;
+  if (claim.registry == this && claim.begin <= shard && shard < claim.end) {
+    return;
+  }
+  OwnershipViolation(shard);
+}
+
+void OwnershipRegistry::AssertSerialPhase() const {
+  if (phase_ == Phase::kSerial) return;
+  std::fprintf(stderr,
+               "SSHARD ownership violation: serial-phase-only state touched "
+               "during the %s phase\n",
+               PhaseName(phase_));
+  std::abort();
+}
+
+void OwnershipRegistry::OwnershipViolation(ShardId shard) const {
+  const ThreadClaim& claim = tls_claim_;
+  char held[64];
+  if (claim.registry == this) {
+    std::snprintf(held, sizeof(held), "claim [%u, %u)", claim.begin,
+                  claim.end);
+  } else {
+    std::snprintf(held, sizeof(held), "no claim on this scheduler");
+  }
+  char owner[64];
+  const std::uint64_t packed =
+      shard < owner_.size()
+          ? owner_[shard].load(std::memory_order_relaxed)
+          : 0;
+  if (packed != 0) {
+    const std::uint64_t range = packed - 1;
+    std::snprintf(owner, sizeof(owner), "claim [%u, %u)",
+                  static_cast<ShardId>(range >> 32),
+                  static_cast<ShardId>(range & 0xffffffffu));
+  } else {
+    std::snprintf(owner, sizeof(owner), "unclaimed so far this phase");
+  }
+  std::fprintf(stderr,
+               "SSHARD ownership violation: cross-shard touch of shard %u "
+               "during the %s phase; this worker holds %s, shard %u is "
+               "owned by %s\n",
+               shard, PhaseName(phase_), held, shard, owner);
+  std::abort();
+}
+
+}  // namespace stableshard::core
+
+#endif  // NDEBUG

@@ -65,6 +65,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "net/metric.h"
 
@@ -117,6 +119,15 @@ struct RingMemory {
 template <typename Payload>
 class Network {
  public:
+  /// Annotation-only capability for the partitioned-flush window (the
+  /// Deposit/Commit split documented above). A scheduler's SealRound
+  /// acquires it, Deposit and AddSenderTraffic require it, and
+  /// CommitPartitionedSends releases it — so on clang, calling Send
+  /// inside the window (or Deposit outside it) fails compilation. Public
+  /// because callers' annotations must be able to name it; it holds no
+  /// runtime state (see common/mutex.h).
+  common::PhaseCapability flush_cap;
+
   struct Envelope {
     ShardId from;
     ShardId to;
@@ -139,7 +150,7 @@ class Network {
   /// count) used for the O(bs) message-size accounting of Section 3.
   /// Serial phases only — see the concurrency contract above.
   void Send(ShardId from, ShardId to, Round now, Payload payload,
-            std::uint64_t payload_units = 1) {
+            std::uint64_t payload_units = 1) SSHARD_EXCLUDES(flush_cap) {
     SSHARD_DCHECK(from < shard_count_);
     SSHARD_DCHECK(to < shard_count_);
     const Distance d = from == to ? 1 : metric_->distance(from, to);
@@ -176,7 +187,8 @@ class Network {
   /// with AddSenderTraffic + CommitPartitionedSends before any other
   /// network call.
   void Deposit(ShardId from, ShardId to, Round now, std::uint64_t seq,
-               Payload payload, std::uint64_t payload_units = 1) {
+               Payload payload, std::uint64_t payload_units = 1)
+      SSHARD_REQUIRES(flush_cap) {
     SSHARD_DCHECK(from < shard_count_);
     SSHARD_DCHECK(to < shard_count_);
     const Distance d = from == to ? 1 : metric_->distance(from, to);
@@ -199,7 +211,8 @@ class Network {
   /// Serial epilogue of a partitioned flush: fold one sender's outbound
   /// traffic split (Deposit only updates the destination side).
   void AddSenderTraffic(ShardId from, std::uint64_t messages,
-                        std::uint64_t payload_units) {
+                        std::uint64_t payload_units)
+      SSHARD_REQUIRES(flush_cap) {
     SSHARD_DCHECK(from < shard_count_);
     shard_traffic_[from].messages_out += messages;
     shard_traffic_[from].payload_out += payload_units;
@@ -209,7 +222,9 @@ class Network {
   /// past the deposited envelopes and fold the global stats. Equals the
   /// per-send accounting because in-flight only grows during a flush.
   void CommitPartitionedSends(std::uint64_t messages,
-                              std::uint64_t payload_units) {
+                              std::uint64_t payload_units)
+      SSHARD_RELEASE(flush_cap) {
+    flush_cap.Release();  // annotation-only, no runtime effect
     seq_ += messages;
     stats_.messages_sent += messages;
     stats_.payload_units += payload_units;

@@ -43,6 +43,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "net/network.h"
 
@@ -59,6 +61,15 @@ struct LaneMemory {
 template <typename Payload>
 class OutboxSet {
  public:
+  /// Annotation-only capability for the sealed-buffer window: Seal
+  /// acquires it, FlushSealedTo requires it, FinishSealedFlush releases
+  /// it, and the serial Flush excludes it — so on clang, running the
+  /// serial flush (which drains the *active* lanes) inside a
+  /// Seal..FinishSealedFlush window fails compilation instead of
+  /// double-draining a round. Public so callers' annotations can name it;
+  /// no runtime state (see common/mutex.h).
+  common::PhaseCapability sealed_cap;
+
   struct Item {
     ShardId to;
     std::uint64_t payload_units;
@@ -81,7 +92,8 @@ class OutboxSet {
 
   /// Serial: hand every queued item to the network at round `now`, lane by
   /// lane in shard order, preserving per-lane append order.
-  void Flush(Network<Payload>& network, Round now) {
+  void Flush(Network<Payload>& network, Round now)
+      SSHARD_EXCLUDES(sealed_cap) {
     std::vector<Lane>& lanes = buffers_[active_];
     for (ShardId from = 0; from < lanes.size(); ++from) {
       for (Item& item : lanes[from].items) {
@@ -95,7 +107,8 @@ class OutboxSet {
   /// Serial: swap the active buffer with the (drained) sealed one. The
   /// scheduler may keep Sending into the fresh active lanes while pool
   /// workers FlushSealedTo the sealed buffer.
-  void Seal() {
+  void Seal() SSHARD_ACQUIRE(sealed_cap) {
+    sealed_cap.Acquire();  // annotation-only, no runtime effect
 #ifndef NDEBUG
     for (const Lane& lane : buffers_[active_ ^ 1]) {
       SSHARD_DCHECK(lane.items.empty() && "sealing over an undrained buffer");
@@ -110,7 +123,8 @@ class OutboxSet {
   /// reconstructed exactly as the serial Flush would have assigned it.
   /// Safe to run concurrently for disjoint destination ranges.
   void FlushSealedTo(Network<Payload>& network, Round now, ShardId dest_begin,
-                     ShardId dest_end) {
+                     ShardId dest_end)
+      SSHARD_REQUIRES(sealed_cap, network.flush_cap) {
     std::vector<Lane>& lanes = buffers_[active_ ^ 1];
     std::uint64_t seq = network.next_seq();
     for (ShardId from = 0; from < lanes.size(); ++from) {
@@ -127,7 +141,8 @@ class OutboxSet {
   /// Serial epilogue of the partitioned drain: fold sender-side traffic and
   /// the global network counters, then retire the sealed lanes (clear +
   /// high-water decay + shrink policy).
-  void FinishSealedFlush(Network<Payload>& network) {
+  void FinishSealedFlush(Network<Payload>& network)
+      SSHARD_RELEASE(sealed_cap) SSHARD_RELEASE(network.flush_cap) {
     std::vector<Lane>& lanes = buffers_[active_ ^ 1];
     std::uint64_t messages = 0;
     std::uint64_t payload_units = 0;
@@ -141,6 +156,7 @@ class OutboxSet {
       RetireLane(from, lane);
     }
     network.CommitPartitionedSends(messages, payload_units);
+    sealed_cap.Release();  // annotation-only, no runtime effect
   }
 
   bool Empty() const {

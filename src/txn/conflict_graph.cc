@@ -56,6 +56,7 @@ ConflictGraph::ConflictGraph(const std::vector<const Transaction*>& txns,
   // counted once per share, exactly the entries pass 2 will write.
   if (granularity == ConflictGranularity::kShard) {
     const auto users = BuildShardIndex(txns);
+    // lint:allow(unordered-iteration): rows are sorted/deduped below.
     for (const auto& [shard, list] : users) {
       (void)shard;
       for (const std::uint32_t v : list) {
@@ -68,6 +69,7 @@ ConflictGraph::ConflictGraph(const std::vector<const Transaction*>& txns,
 
     // Pass 2 (fill): every same-shard pair, both directions.
     std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    // lint:allow(unordered-iteration): rows are sorted/deduped below.
     for (const auto& [shard, list] : users) {
       (void)shard;
       for (std::size_t i = 0; i < list.size(); ++i) {
@@ -81,6 +83,7 @@ ConflictGraph::ConflictGraph(const std::vector<const Transaction*>& txns,
     // Account granularity: shared account with >= 1 write — writer-writer
     // and writer-reader pairs conflict.
     const auto users = BuildAccountIndex(txns);
+    // lint:allow(unordered-iteration): rows are sorted/deduped below.
     for (const auto& [account, u] : users) {
       (void)account;
       for (const std::uint32_t w : u.writers) {
@@ -94,6 +97,7 @@ ConflictGraph::ConflictGraph(const std::vector<const Transaction*>& txns,
     neighbors_.resize(offsets_[n]);
 
     std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    // lint:allow(unordered-iteration): rows are sorted/deduped below.
     for (const auto& [account, u] : users) {
       (void)account;
       for (std::size_t i = 0; i < u.writers.size(); ++i) {
@@ -188,6 +192,7 @@ std::vector<std::vector<std::uint32_t>> BuildLegacyAdjacency(
 
   if (granularity == ConflictGranularity::kShard) {
     const auto users = BuildShardIndex(txns);
+    // lint:allow(unordered-iteration): rows are sorted/deduped below.
     for (const auto& [shard, list] : users) {
       (void)shard;
       for (std::size_t i = 0; i < list.size(); ++i) {
@@ -199,6 +204,7 @@ std::vector<std::vector<std::uint32_t>> BuildLegacyAdjacency(
     }
   } else {
     const auto users = BuildAccountIndex(txns);
+    // lint:allow(unordered-iteration): rows are sorted/deduped below.
     for (const auto& [account, u] : users) {
       (void)account;
       for (std::size_t i = 0; i < u.writers.size(); ++i) {

@@ -398,7 +398,9 @@ TEST(Adversary, TxnIdsAreUniqueAndOrdered) {
   bool first = true;
   for (Round r = 0; r < 50; ++r) {
     for (const auto& txn : adversary.GenerateRound(r)) {
-      if (!first) EXPECT_GT(txn.id(), last);
+      if (!first) {
+        EXPECT_GT(txn.id(), last);
+      }
       last = txn.id();
       first = false;
       EXPECT_EQ(txn.injected(), r);

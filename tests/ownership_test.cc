@@ -1,0 +1,110 @@
+// Tests for the shard-ownership runtime checker (core/ownership.h).
+//
+// The checker is the Debug/ASan-build enforcement of the StepShard /
+// FlushRoundPartition ownership contract: a worker touching a shard
+// outside its claim must abort deterministically, with the shard id in
+// the message — including *same-thread* cross-shard touches that no
+// thread sanitizer can observe. Under NDEBUG the registry is an empty
+// stub, so the death tests skip themselves (the Debug/ASan CI job is
+// where they bite) and only the stub's compile/run-through is checked.
+#include <gtest/gtest.h>
+
+#include "core/ownership.h"
+
+namespace stableshard::core {
+namespace {
+
+#ifndef NDEBUG
+constexpr bool kCheckerActive = true;
+#else
+constexpr bool kCheckerActive = false;
+#endif
+
+TEST(Ownership, SerialPhasePermitsEverything) {
+  OwnershipRegistry registry(8);
+  // No phase entered: any shard may be touched by any code.
+  SSHARD_OWNED(registry, 0);
+  SSHARD_OWNED(registry, 7);
+  SSHARD_SERIAL_PHASE(registry);
+}
+
+TEST(Ownership, StepClaimCoversOwnShardOnly) {
+  OwnershipRegistry registry(8);
+  registry.BeginStepPhase();
+  {
+    OwnershipRegistry::ShardClaim claim(registry, 5);
+    SSHARD_OWNED(registry, 5);  // own shard: fine
+  }
+  registry.EndParallelPhase();
+  SSHARD_OWNED(registry, 3);  // back to serial: fine
+}
+
+TEST(Ownership, FlushRangeClaimCoversRange) {
+  OwnershipRegistry registry(8);
+  registry.BeginFlushPhase();
+  {
+    OwnershipRegistry::RangeClaim claim(registry, 2, 6);
+    SSHARD_OWNED(registry, 2);
+    SSHARD_OWNED(registry, 5);
+  }
+  registry.EndParallelPhase();
+}
+
+TEST(Ownership, ClaimsNest) {
+  OwnershipRegistry registry(8);
+  registry.BeginStepPhase();
+  OwnershipRegistry::ShardClaim outer(registry, 1);
+  {
+    OwnershipRegistry::ShardClaim inner(registry, 2);
+    SSHARD_OWNED(registry, 2);
+  }
+  // The outer claim is restored when the inner one unwinds.
+  SSHARD_OWNED(registry, 1);
+}
+
+using OwnershipDeath = ::testing::Test;
+
+TEST(OwnershipDeath, CrossShardTouchAbortsWithShardId) {
+  if (!kCheckerActive) GTEST_SKIP() << "checker compiled out under NDEBUG";
+  OwnershipRegistry registry(8);
+  registry.BeginStepPhase();
+  OwnershipRegistry::ShardClaim claim(registry, 5);
+  // StepShard(5) reaching into shard 1's state: same thread, no data race
+  // for TSan to see — the checker must still abort, naming the shard.
+  EXPECT_DEATH(SSHARD_OWNED(registry, 1),
+               "cross-shard touch of shard 1 during the step phase");
+}
+
+TEST(OwnershipDeath, UnclaimedTouchDuringFlushAborts) {
+  if (!kCheckerActive) GTEST_SKIP() << "checker compiled out under NDEBUG";
+  OwnershipRegistry registry(8);
+  registry.BeginFlushPhase();
+  OwnershipRegistry::RangeClaim claim(registry, 0, 4);
+  EXPECT_DEATH(SSHARD_OWNED(registry, 6),
+               "cross-shard touch of shard 6 during the flush phase");
+}
+
+TEST(OwnershipDeath, SerialOnlyStateTouchedInParallelPhaseAborts) {
+  if (!kCheckerActive) GTEST_SKIP() << "checker compiled out under NDEBUG";
+  OwnershipRegistry registry(4);
+  registry.BeginStepPhase();
+  // e.g. Inject called mid-round: injection queues are serial-only.
+  EXPECT_DEATH(SSHARD_SERIAL_PHASE(registry),
+               "serial-phase-only state touched during the step phase");
+}
+
+TEST(OwnershipDeath, PhaseResetClearsStaleClaims) {
+  if (!kCheckerActive) GTEST_SKIP() << "checker compiled out under NDEBUG";
+  OwnershipRegistry registry(8);
+  registry.BeginStepPhase();
+  {
+    OwnershipRegistry::ShardClaim claim(registry, 3);
+  }
+  // The claim unwound: this thread owns nothing now, so touching the
+  // previously-claimed shard must abort too.
+  EXPECT_DEATH(SSHARD_OWNED(registry, 3),
+               "cross-shard touch of shard 3 during the step phase");
+}
+
+}  // namespace
+}  // namespace stableshard::core

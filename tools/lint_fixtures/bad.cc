@@ -1,0 +1,53 @@
+// Lint self-test fixture: every block here must produce a finding
+// (tools/lint_determinism.py --self-test), one per rule.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Txn {
+  std::uint64_t id = 0;
+};
+
+// unordered-iteration: feeding results from hash-map iteration order.
+std::unordered_map<std::uint64_t, Txn> BuildIndex();
+
+std::vector<std::uint64_t> CollectIds() {
+  std::unordered_map<std::uint64_t, Txn> active;
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, txn] : active) {  // platform-defined order
+    out.push_back(id);
+  }
+  const auto index = BuildIndex();
+  for (const auto& [id, txn] : index) {  // tainted via BuildIndex()
+    out.push_back(id);
+  }
+  return out;
+}
+
+// raw-rand: the C runtime's global RNG and ad-hoc engines.
+std::uint64_t RollDice() {
+  std::random_device device;
+  std::mt19937 engine(device());
+  return static_cast<std::uint64_t>(std::rand()) + engine();
+}
+
+// wall-clock: simulation decisions reading host time.
+bool Expired() {
+  const auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count() % 2 == 0;
+}
+
+// pointer-key: ordered iteration over addresses.
+std::map<const Txn*, int> priorities;
+
+// bare-allow: an escape without a reason is itself a finding.
+// lint:allow(wall-clock)
+std::uint64_t Stamp() { return 42; }
+
+}  // namespace fixture

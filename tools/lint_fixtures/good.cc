@@ -1,0 +1,51 @@
+// Lint self-test fixture: every pattern here is FINE and must produce no
+// findings (tools/lint_determinism.py --self-test).
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Record {
+  std::uint32_t remaining = 0;
+};
+
+struct Ledger {
+  // Declaration of an unordered container: fine. Only iteration is
+  // order-sensitive.
+  std::unordered_map<std::uint64_t, Record> records;
+  std::unordered_set<std::uint64_t> seen;
+};
+
+// Lookup and insertion: fine.
+bool Resolve(Ledger& ledger, std::uint64_t txn) {
+  const auto it = ledger.records.find(txn);
+  if (it == ledger.records.end()) return false;
+  return --it->second.remaining == 0;
+}
+
+// Iterating a vector: fine, vectors have deterministic order.
+std::uint64_t Sum(const std::vector<std::uint64_t>& values) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t value : values) total += value;
+  return total;
+}
+
+// Iterating an unordered container with a justified escape: fine.
+std::size_t CountSeen(const Ledger& ledger) {
+  std::size_t count = 0;
+  // lint:allow(unordered-iteration): commutative count, order-free.
+  for (const std::uint64_t id : ledger.seen) {
+    count += id != 0 ? 1 : 0;
+  }
+  return count;
+}
+
+// Mentions of "std::rand" or "system_clock" inside strings or comments
+// must not trip the lint.
+std::string Describe() { return "never calls std::rand or system_clock"; }
+
+}  // namespace fixture

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over every source
+# file in the compilation database.
+#
+# Usage:  tools/run_clang_tidy.sh [build-dir]
+#
+# The build dir must have been configured with
+#   cmake -B <build-dir> -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+# Exits 0 when clang-tidy is clean, 1 on findings, and 0 with a notice
+# when clang-tidy is not installed (local containers ship only gcc; the
+# CI static-analysis job installs clang and enforces the result).
+set -u -o pipefail
+
+build_dir="${1:-build-tidy}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+tidy="$(command -v clang-tidy || true)"
+if [[ -z "${tidy}" ]]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping" \
+       "(the CI static-analysis job enforces this check)" >&2
+  exit 0
+fi
+
+db="${repo_root}/${build_dir}/compile_commands.json"
+if [[ ! -f "${db}" ]]; then
+  echo "run_clang_tidy: ${db} missing — configure with" \
+       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first" >&2
+  exit 2
+fi
+
+# Every first-party TU in the database; third-party (_deps) is excluded.
+mapfile -t files < <(python3 - "${db}" <<'EOF'
+import json, sys
+seen = set()
+for entry in json.load(open(sys.argv[1])):
+    path = entry["file"]
+    if "_deps" in path or path in seen:
+        continue
+    seen.add(path)
+    print(path)
+EOF
+)
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "run_clang_tidy: no first-party files in ${db}" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: checking ${#files[@]} files with $(${tidy} --version | head -1)"
+
+runner="$(command -v run-clang-tidy || true)"
+if [[ -n "${runner}" ]]; then
+  "${runner}" -quiet -p "${repo_root}/${build_dir}" "${files[@]}"
+  exit $?
+fi
+
+status=0
+for file in "${files[@]}"; do
+  if ! "${tidy}" -quiet -p "${repo_root}/${build_dir}" "${file}"; then
+    status=1
+  fi
+done
+exit ${status}
