@@ -22,9 +22,9 @@ using namespace stableshard;
 
 constexpr const char* kUsage = R"(simulate_cli — StableShard simulation runner
 
-  --scheduler  any registered scheduler (backpressure | bds | fds |
-               direct in-tree; default bds — unknown names print the
-               registry)
+  --scheduler  any registered scheduler (backpressure | bds | bds_sharded |
+               fds | fds_multiroot | direct in-tree; default bds — unknown
+               names print the registry)
   --topology   uniform | line | ring | grid | random_geo   (default: uniform
                for bds, line otherwise)
   --hierarchy  shifted | cover               (fds only; default shifted)
@@ -45,6 +45,15 @@ constexpr const char* kUsage = R"(simulate_cli — StableShard simulation runner
   --coloring   greedy | welsh_powell | dsatur (default greedy)
   --pinned     use the conservative pinned commit mode (fds)
   --no-reschedule  disable FDS rescheduling periods
+  --bds-color-leaders  bds_sharded: co-leader shards the epoch's color
+               classes are committed across (default 1 = exactly the
+               legacy single-leader protocol; clamped to the shard count;
+               must be >= 1)
+  --fds-top-roots  fds_multiroot (and the backpressure wrapper): number of
+               interchangeable full-membership top-layer root clusters
+               diameter-spanning transactions are hashed across
+               (default 1 = the classic single-top hierarchy; clamped to
+               the shard count; must be >= 1)
   --bp-high    backpressure scheduler: mark a destination hot when its
                congestion signal — max(round inflow, standing backlog:
                undelivered messages + led-cluster queues) — reaches this
@@ -124,6 +133,19 @@ bool ParseConfig(const Flags& flags, core::SimConfig* config) {
   config->abort_probability = flags.GetDouble("abort-prob", 0.0);
   config->fds_pipelined = !flags.GetBool("pinned", false);
   config->fds_reschedule = !flags.GetBool("no-reschedule", false);
+
+  config->bds_color_leaders = static_cast<std::uint32_t>(
+      flags.GetUint("bds-color-leaders", config->bds_color_leaders));
+  config->fds_top_roots = static_cast<std::uint32_t>(
+      flags.GetUint("fds-top-roots", config->fds_top_roots));
+  // Same exit-2 contract as the watermarks: a zero knob is an input
+  // error, not an SSHARD_CHECK abort in the scheduler/hierarchy builders.
+  if (!core::ValidateBdsColorLeaders(config->bds_color_leaders)) {
+    return false;
+  }
+  if (!core::ValidateFdsTopRoots(config->fds_top_roots)) {
+    return false;
+  }
 
   config->backpressure_high =
       flags.GetUint("bp-high", config->backpressure_high);

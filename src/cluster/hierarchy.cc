@@ -10,13 +10,16 @@ namespace stableshard::cluster {
 
 namespace {
 
-/// A shard qualifies as leader of a layer-l cluster iff its (2^l - 1)-
-/// neighborhood is contained in the cluster (Section 6.1).
-ShardId PickLeader(const net::ShardMetric& metric, const Cluster& cluster,
-                   std::uint32_t layer) {
+/// All shards qualifying as leader of a layer-l cluster: a shard qualifies
+/// iff its (2^l - 1)-neighborhood is contained in the cluster
+/// (Section 6.1). Returned in ascending shard order.
+std::vector<ShardId> LeaderCandidates(const net::ShardMetric& metric,
+                                      const Cluster& cluster,
+                                      std::uint32_t layer) {
   const Distance radius =
       layer >= 31 ? std::numeric_limits<Distance>::max() / 2
                   : static_cast<Distance>((1u << layer) - 1);
+  std::vector<ShardId> candidates;
   for (const ShardId candidate : cluster.shards) {
     bool contained = true;
     for (const ShardId other : metric.Neighborhood(candidate, radius)) {
@@ -25,9 +28,32 @@ ShardId PickLeader(const net::ShardMetric& metric, const Cluster& cluster,
         break;
       }
     }
-    if (contained) return candidate;
+    if (contained) candidates.push_back(candidate);
   }
-  return kInvalidShard;
+  return candidates;
+}
+
+/// Deterministic spread over the candidate list: a cluster-id-keyed
+/// starting index (Fibonacci-hash stride, so consecutive ids land far
+/// apart) advanced cyclically past candidates that already lead another
+/// cluster of the same layer. The old policy took the *first* candidate,
+/// which stacked same-layer colorings of adjacent clusters onto one shard
+/// — serializing their Phase-2 work even before the top-layer pathology.
+/// A shard leads two clusters of one layer only when every candidate of
+/// the later cluster is already taken (pigeonhole-unavoidable), which the
+/// cluster_test regression mirrors exactly.
+ShardId SpreadLeader(const std::vector<ShardId>& candidates,
+                     std::uint32_t cluster_id,
+                     const std::vector<std::uint8_t>& taken_in_layer) {
+  if (candidates.empty()) return kInvalidShard;
+  const std::size_t n = candidates.size();
+  const std::size_t start =
+      static_cast<std::size_t>(cluster_id * 2654435761u) % n;
+  for (std::size_t step = 0; step < n; ++step) {
+    const ShardId candidate = candidates[(start + step) % n];
+    if (!taken_in_layer[candidate]) return candidate;
+  }
+  return candidates[start];  // every candidate taken: unavoidable reuse
 }
 
 }  // namespace
@@ -51,34 +77,64 @@ void Hierarchy::AddCluster(std::uint32_t layer, std::uint32_t sublayer,
   }
   cluster.shards = std::move(shards);
   cluster.diameter = metric_->SubsetDiameter(cluster.shards);
-  cluster.leader = PickLeader(*metric_, cluster, layer);
+  if (leads_in_layer_.size() <= layer) leads_in_layer_.resize(layer + 1);
+  std::vector<std::uint8_t>& taken = leads_in_layer_[layer];
+  if (taken.empty()) taken.assign(metric_->shard_count(), 0);
+  cluster.leader =
+      SpreadLeader(LeaderCandidates(*metric_, cluster, layer), cluster.id,
+                   taken);
+  if (cluster.HasLeader()) taken[cluster.leader] = 1;
   for (const ShardId shard : cluster.shards) {
     containing_[shard].push_back(cluster.id);
   }
   clusters_.push_back(std::move(cluster));
 }
 
-void Hierarchy::Finalize() {
+void Hierarchy::Finalize(std::uint32_t top_roots) {
+  SSHARD_CHECK(top_roots >= 1 && "hierarchy needs at least one top root");
   // Guarantee a full-membership, leadered cluster exists so FindHomeCluster
   // always succeeds (the top of the hierarchy).
   const ShardId s = metric_->shard_count();
-  bool have_top = false;
+  constexpr auto kNoCluster = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t root0 = kNoCluster;
   for (const Cluster& cluster : clusters_) {
     if (cluster.HasLeader() && cluster.size() == s) {
-      have_top = true;
+      root0 = cluster.id;
       break;
     }
   }
-  if (!have_top) {
+  if (root0 == kNoCluster) {
     std::vector<ShardId> all(s);
     for (ShardId i = 0; i < s; ++i) all[i] = i;
     AddCluster(layer_count_, 0, std::move(all));
-    // The whole graph trivially contains any neighborhood, but PickLeader
-    // used radius 2^layer - 1; with the full set every shard qualifies, so
-    // a leader was found.
+    // The whole graph trivially contains any neighborhood, but the leader
+    // radius is 2^layer - 1; with the full set every shard qualifies, so a
+    // leader was found.
     SSHARD_CHECK(clusters_.back().HasLeader());
+    root0 = clusters_.back().id;
     ++layer_count_;
   }
+  // Split the top cover into `top_roots` interchangeable full-membership
+  // roots (clamped to s — more roots than shards cannot have distinct
+  // leaders). Each extra root sits alone in a fresh sublayer of the same
+  // layer, so sublayer partitioning is preserved; the same-layer leader
+  // spread in AddCluster gives the roots pairwise-distinct leaders
+  // whenever untaken shards remain at that layer.
+  const auto roots = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(top_roots, s));
+  clusters_[root0].top_root = true;
+  top_roots_.assign(1, root0);
+  const std::uint32_t root_layer = clusters_[root0].layer;
+  for (std::uint32_t j = 1; j < roots; ++j) {
+    std::vector<ShardId> all(s);
+    for (ShardId i = 0; i < s; ++i) all[i] = i;
+    AddCluster(root_layer, sublayer_count_ + j - 1, std::move(all));
+    SSHARD_CHECK(clusters_.back().HasLeader());
+    clusters_.back().top_root = true;
+    top_roots_.push_back(clusters_.back().id);
+  }
+  sublayer_count_ += roots - 1;
+  leads_in_layer_.clear();  // construction-time scratch
   // Per-shard cluster lists ordered by (layer, sublayer, id) so the home
   // cluster scan visits lowest levels first.
   for (auto& list : containing_) {
@@ -93,7 +149,9 @@ void Hierarchy::Finalize() {
   }
 }
 
-Hierarchy Hierarchy::BuildLineShifted(const net::ShardMetric& metric) {
+Hierarchy Hierarchy::BuildLineShifted(const net::ShardMetric& metric,
+                                      std::uint32_t top_roots) {
+  SSHARD_CHECK(top_roots >= 1 && "top_roots must be positive");
   Hierarchy h(metric);
   const ShardId s = metric.shard_count();
   // Layers 0..H1-1 with cluster size min(s, 2^{l+1}); the top layer is the
@@ -130,11 +188,13 @@ Hierarchy Hierarchy::BuildLineShifted(const net::ShardMetric& metric) {
       }
     }
   }
-  h.Finalize();
+  h.Finalize(top_roots);
   return h;
 }
 
-Hierarchy Hierarchy::BuildSparseCover(const net::ShardMetric& metric) {
+Hierarchy Hierarchy::BuildSparseCover(const net::ShardMetric& metric,
+                                      std::uint32_t top_roots) {
+  SSHARD_CHECK(top_roots >= 1 && "top_roots must be positive");
   Hierarchy h(metric);
   const ShardId s = metric.shard_count();
   const Distance diameter = metric.Diameter();
@@ -170,7 +230,7 @@ Hierarchy Hierarchy::BuildSparseCover(const net::ShardMetric& metric) {
       SSHARD_CHECK(h.clusters_.back().HasLeader());
     }
   }
-  h.Finalize();
+  h.Finalize(top_roots);
   return h;
 }
 
@@ -190,7 +250,8 @@ const std::vector<std::uint32_t>& Hierarchy::clusters_containing(
   return containing_[shard];
 }
 
-const Cluster& Hierarchy::FindHomeCluster(ShardId home, Distance x) const {
+const Cluster& Hierarchy::FindHomeCluster(ShardId home, Distance x,
+                                          std::uint64_t salt) const {
   SSHARD_CHECK(home < metric_->shard_count());
   const std::vector<ShardId> neighborhood = metric_->Neighborhood(home, x);
   for (const std::uint32_t id : containing_[home]) {
@@ -203,7 +264,16 @@ const Cluster& Hierarchy::FindHomeCluster(ShardId home, Distance x) const {
         break;
       }
     }
-    if (contains_all) return cluster;
+    if (!contains_all) continue;
+    // Top-layer roots are interchangeable full-membership copies: hash the
+    // assignment across them so diameter-spanning load spreads instead of
+    // piling onto the first root the scan happens to reach.
+    if (cluster.top_root && top_roots_.size() > 1) {
+      const std::uint64_t pick =
+          (static_cast<std::uint64_t>(home) + salt) % top_roots_.size();
+      return clusters_[top_roots_[pick]];
+    }
+    return cluster;
   }
   SSHARD_CHECK(false && "no home cluster found (missing top cluster?)");
   return clusters_.front();

@@ -45,6 +45,10 @@ struct Cluster {
   std::vector<bool> member;    ///< size s bitmap for O(1) Contains
   ShardId leader = kInvalidShard;
   Distance diameter = 0;       ///< strong (induced) diameter
+  /// Full-membership top-layer root (one of `top_roots` interchangeable
+  /// copies): FindHomeCluster spreads diameter-spanning transactions across
+  /// these instead of funneling everything through one of them.
+  bool top_root = false;
 
   bool HasLeader() const { return leader != kInvalidShard; }
   bool Contains(ShardId shard) const { return member[shard]; }
@@ -54,10 +58,18 @@ struct Cluster {
 class Hierarchy {
  public:
   /// Paper-Section-7 construction for line-like topologies (see header).
-  static Hierarchy BuildLineShifted(const net::ShardMetric& metric);
+  /// `top_roots` (>= 1, clamped to the shard count) is the number of
+  /// full-membership top-layer root clusters: with 1 the construction is
+  /// exactly the single-top hierarchy; with k > 1 the top cover is split
+  /// into k interchangeable roots with pairwise-distinct leader shards, so
+  /// diameter-spanning transactions no longer degenerate onto one leader.
+  static Hierarchy BuildLineShifted(const net::ShardMetric& metric,
+                                    std::uint32_t top_roots = 1);
 
-  /// Generic net-based sparse cover for arbitrary metrics.
-  static Hierarchy BuildSparseCover(const net::ShardMetric& metric);
+  /// Generic net-based sparse cover for arbitrary metrics (same
+  /// `top_roots` contract as BuildLineShifted).
+  static Hierarchy BuildSparseCover(const net::ShardMetric& metric,
+                                    std::uint32_t top_roots = 1);
 
   const std::vector<Cluster>& clusters() const { return clusters_; }
   std::uint32_t layer_count() const { return layer_count_; }      ///< H1
@@ -73,7 +85,17 @@ class Hierarchy {
   /// farthest accessed shard is at distance `x`: the lowest (layer, sublayer)
   /// cluster that contains the whole x-neighborhood of `home` and has a
   /// leader. Never fails: the top layer has a full-membership cluster.
-  const Cluster& FindHomeCluster(ShardId home, Distance x) const;
+  /// When the scan lands on a top-layer root and the hierarchy was built
+  /// with top_roots > 1, the returned root is chosen deterministically by
+  /// (home + salt) mod top_roots — callers pass a per-transaction salt
+  /// (e.g. the txn id) so diameter-spanning load hashes across the roots
+  /// instead of piling onto the first one. All roots are full-membership
+  /// and leadered, so any choice is sound.
+  const Cluster& FindHomeCluster(ShardId home, Distance x,
+                                 std::uint64_t salt = 0) const;
+
+  /// Ids of the full-membership top-layer roots (size >= 1 after Finalize).
+  const std::vector<std::uint32_t>& top_roots() const { return top_roots_; }
 
   /// Max number of layer-`layer` clusters any single shard belongs to
   /// (property (ii) observable).
@@ -86,14 +108,20 @@ class Hierarchy {
 
   void AddCluster(std::uint32_t layer, std::uint32_t sublayer,
                   std::vector<ShardId> shards);
-  /// Sort per-shard cluster lists and ensure a leadered top cluster exists.
-  void Finalize();
+  /// Sort per-shard cluster lists, ensure a leadered top cluster exists and
+  /// split the top cover into `top_roots` roots (see BuildLineShifted).
+  void Finalize(std::uint32_t top_roots);
 
   const net::ShardMetric* metric_;
   std::uint32_t layer_count_ = 0;
   std::uint32_t sublayer_count_ = 0;
   std::vector<Cluster> clusters_;
   std::vector<std::vector<std::uint32_t>> containing_;  // shard -> cluster ids
+  std::vector<std::uint32_t> top_roots_;                // root cluster ids
+  /// Construction-time scratch for the leader-placement spread: per layer,
+  /// which shards already lead a cluster of that layer (AddCluster avoids
+  /// them when the cluster has an untaken qualifying candidate).
+  std::vector<std::vector<std::uint8_t>> leads_in_layer_;
 };
 
 }  // namespace stableshard::cluster

@@ -148,11 +148,12 @@ const core::SchedulerRegistrar kBackpressureRegistrar{
       BackpressureConfig backpressure;
       backpressure.high_watermark = config.backpressure_high;
       backpressure.low_watermark = config.backpressure_low;
+      // The wrapper composes with the multi-root hierarchy: fds_top_roots
+      // defaults to 1, which is the classic single-top cover.
       return std::unique_ptr<core::Scheduler>(
-          std::make_unique<BackpressureScheduler>(deps.metric,
-                                                  deps.hierarchy(),
-                                                  deps.ledger, fds,
-                                                  backpressure));
+          std::make_unique<BackpressureScheduler>(
+              deps.metric, deps.hierarchy(config.fds_top_roots),
+              deps.ledger, fds, backpressure));
     }};
 }  // namespace
 

@@ -105,6 +105,9 @@ class BackpressureScheduler final : public core::Scheduler {
   double LeaderQueueMean() const override {
     return inner_->LeaderQueueMean();
   }
+  double LeaderQueueMax() const override {
+    return inner_->LeaderQueueMax();
+  }
   std::uint64_t MessagesSent() const override {
     return inner_->MessagesSent();
   }

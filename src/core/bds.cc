@@ -18,8 +18,13 @@ BdsScheduler::BdsScheduler(const net::ShardMetric& metric,
       ownership_(metric.shard_count()),
       pending_(metric.shard_count()),
       home_(metric.shard_count()),
+      co_(metric.shard_count()),
       dest_pending_(metric.shard_count()),
       inbox_(metric.shard_count()) {
+  SSHARD_CHECK(config.color_leaders >= 1 &&
+               "bds color_leaders must be positive");
+  color_leaders_ = std::min<std::uint32_t>(config.color_leaders,
+                                           metric.shard_count());
   // BDS is specified for the uniform model: Phase offsets assume
   // unit-distance delivery everywhere.
   for (ShardId a = 0; a < metric.shard_count(); ++a) {
@@ -47,7 +52,28 @@ bool BdsScheduler::Idle() const {
   for (const HomeState& home : home_) {
     if (!home.in_epoch.empty()) return false;
   }
+  for (const CoLeaderState& co : co_) {
+    if (!co.by_color.empty() || !co.in_flight.empty()) return false;
+  }
   return pending_in_queues() == 0;
+}
+
+double BdsScheduler::LeaderQueueMax() const {
+  // The hottest coordination queue right now: the leader's coloring inbox
+  // plus, per shard, the 2PC records it is driving (home records in the
+  // legacy mode, co-leader records and parked color classes in the sharded
+  // one). Sizes only — deterministic whatever the worker count.
+  std::uint64_t max_load = 0;
+  for (ShardId shard = 0; shard < shard_count(); ++shard) {
+    std::uint64_t load = home_[shard].in_epoch.size();
+    if (shard == leader_) load += leader_inbox_.size();
+    const CoLeaderState& co = co_[shard];
+    load += co.in_flight.size();
+    // lint:allow(unordered-iteration): order-independent sum of sizes.
+    for (const auto& [color, txns] : co.by_color) load += txns.size();
+    max_load = std::max(max_load, load);
+  }
+  return static_cast<double>(max_load);
 }
 
 void BdsScheduler::BeginRound(Round round) {
@@ -64,6 +90,10 @@ void BdsScheduler::BeginRound(Round round) {
       for (const HomeState& home : home_) {
         SSHARD_CHECK(home.in_epoch.empty() &&
                      "epoch ended with unresolved transactions");
+      }
+      for (const CoLeaderState& co : co_) {
+        SSHARD_CHECK(co.by_color.empty() && co.in_flight.empty() &&
+                     "epoch ended with unresolved co-leader state");
       }
       ++epoch_index_;
     }
@@ -108,7 +138,13 @@ void BdsScheduler::StepShard(ShardId shard, Round round) {
     case Phase::kNone:
       break;
   }
-  if (send_color_.has_value()) SendSubTxnsForColor(shard, *send_color_);
+  if (send_color_.has_value()) {
+    if (color_leaders_ > 1) {
+      CoLeaderSendColor(shard, *send_color_);
+    } else {
+      SendSubTxnsForColor(shard, *send_color_);
+    }
+  }
 }
 
 void BdsScheduler::EndRound(Round round) {
@@ -142,6 +178,8 @@ void BdsScheduler::FinishRound(Round round) {
 void BdsScheduler::ShipPending(ShardId home) {
   // Phase 1: the home shard ships its whole pending queue to the leader.
   // Also resets the home's per-color schedule from the finished epoch.
+  // In the sharded-leader mode the home keeps no 2PC record — the
+  // co-leader the color class lands on coordinates instead.
   SSHARD_OWNED(ownership_, home);
   HomeState& state = home_[home];
   state.by_color.clear();
@@ -153,9 +191,11 @@ void BdsScheduler::ShipPending(ShardId home) {
   while (!queue.empty()) {
     txn::Transaction txn = std::move(queue.front());
     queue.pop_front();
-    InFlightTxn in_flight;
-    in_flight.txn = txn;
-    state.in_epoch.emplace(txn.id(), std::move(in_flight));
+    if (color_leaders_ <= 1) {
+      InFlightTxn in_flight;
+      in_flight.txn = txn;
+      state.in_epoch.emplace(txn.id(), std::move(in_flight));
+    }
     batch.txns.push_back(std::move(txn));
   }
   const std::uint64_t units = batch.txns.size();
@@ -183,20 +223,42 @@ void BdsScheduler::LeaderColorAndReply(Round round) {
   max_epoch_length_ = std::max(max_epoch_length_, epoch_end_ - epoch_start_);
   (void)round;
 
-  // Group assignments by home shard and reply; also broadcast the plan so
-  // every shard knows the epoch length. Home shards rebuild their by_color
-  // schedule from the reply — the leader keeps nothing.
-  std::vector<ColorAssignMsg> per_home(metric_->shard_count());
-  for (std::size_t v = 0; v < view.size(); ++v) {
-    per_home[view[v]->home()].colors.emplace_back(view[v]->id(),
-                                                  coloring.color[v]);
+  if (color_leaders_ > 1) {
+    // Sharded-leader mode: ship each whole color class to its co-leader,
+    // which coordinates Phase 3 for the class. The class arrives at offset
+    // 2 — exactly when color 0's sends are due, and deliveries are handled
+    // before phase actions, so the schedule matches the legacy path
+    // round-for-round.
+    std::vector<ColorClassMsg> per_color(num_colors_);
+    for (std::size_t v = 0; v < view.size(); ++v) {
+      per_color[coloring.color[v]].txns.push_back(*view[v]);
+    }
+    for (Color color = 0; color < num_colors_; ++color) {
+      ColorClassMsg& msg = per_color[color];
+      if (msg.txns.empty()) continue;
+      msg.epoch = epoch_index_;
+      msg.color = color;
+      const ShardId co_leader = CoLeaderFor(leader_, color, color_leaders_,
+                                            metric_->shard_count());
+      const std::uint64_t units = msg.txns.size();
+      outbox_.Send(leader_, co_leader, Message{std::move(msg)}, units);
+    }
+  } else {
+    // Group assignments by home shard and reply. Home shards rebuild their
+    // by_color schedule from the reply — the leader keeps nothing.
+    std::vector<ColorAssignMsg> per_home(metric_->shard_count());
+    for (std::size_t v = 0; v < view.size(); ++v) {
+      per_home[view[v]->home()].colors.emplace_back(view[v]->id(),
+                                                    coloring.color[v]);
+    }
+    for (ShardId home = 0; home < per_home.size(); ++home) {
+      if (per_home[home].colors.empty()) continue;
+      per_home[home].epoch = epoch_index_;
+      const std::uint64_t units = per_home[home].colors.size();
+      outbox_.Send(leader_, home, Message{std::move(per_home[home])}, units);
+    }
   }
-  for (ShardId home = 0; home < per_home.size(); ++home) {
-    if (per_home[home].colors.empty()) continue;
-    per_home[home].epoch = epoch_index_;
-    const std::uint64_t units = per_home[home].colors.size();
-    outbox_.Send(leader_, home, Message{std::move(per_home[home])}, units);
-  }
+  // Broadcast the plan so every shard knows the epoch length.
   for (ShardId shard = 0; shard < metric_->shard_count(); ++shard) {
     EpochPlanMsg plan;
     plan.epoch = epoch_index_;
@@ -227,6 +289,64 @@ void BdsScheduler::SendSubTxnsForColor(ShardId home, Color color) {
   }
 }
 
+void BdsScheduler::CoLeaderSendColor(ShardId shard, Color color) {
+  // Phase 3, per-color round 1 (sharded-leader mode): the color's
+  // co-leader splits its whole class into subtransactions and opens the
+  // 2PC records it will drive. Only the mapped co-leader has the class.
+  SSHARD_OWNED(ownership_, shard);
+  if (shard != CoLeaderFor(leader_, color, color_leaders_,
+                           metric_->shard_count())) {
+    return;
+  }
+  CoLeaderState& state = co_[shard];
+  const auto it = state.by_color.find(color);
+  if (it == state.by_color.end()) return;
+  for (txn::Transaction& txn : it->second) {
+    const TxnId id = txn.id();
+    for (const txn::SubTransaction& sub : txn.subs()) {
+      SubTxnMsg msg;
+      msg.txn = id;
+      msg.coordinator = shard;
+      msg.height = Height{0, 0, 0, color, id};
+      msg.sub = sub;
+      outbox_.Send(shard, sub.destination, Message{std::move(msg)});
+    }
+    InFlightTxn in_flight;
+    in_flight.color = color;
+    in_flight.txn = std::move(txn);
+    state.in_flight.emplace(id, std::move(in_flight));
+  }
+  state.by_color.erase(it);
+}
+
+void BdsScheduler::CollectVote(
+    std::unordered_map<TxnId, InFlightTxn>& records, const VoteMsg& vote,
+    ShardId shard) {
+  // Phase 3 round 3: the coordinator (home shard in the legacy mode,
+  // co-leader in the sharded one) collects votes; once complete it
+  // confirms and drops the 2PC record (the outcome is sealed here).
+  auto it = records.find(vote.txn);
+  SSHARD_CHECK(it != records.end());
+  InFlightTxn& in_flight = it->second;
+  if (vote.commit) {
+    ++in_flight.commit_votes;
+  } else {
+    ++in_flight.abort_votes;
+  }
+  const auto expected =
+      static_cast<std::uint32_t>(in_flight.txn.subs().size());
+  if (in_flight.commit_votes + in_flight.abort_votes == expected) {
+    const bool commit = in_flight.abort_votes == 0;
+    for (const txn::SubTransaction& sub : in_flight.txn.subs()) {
+      ConfirmMsg confirm;
+      confirm.txn = vote.txn;
+      confirm.commit = commit;
+      outbox_.Send(shard, sub.destination, Message{confirm});
+    }
+    records.erase(it);
+  }
+}
+
 void BdsScheduler::HandleMessage(ShardId shard, ShardId from,
                                  Message& message, Round round) {
   // Every branch mutates state owned by `shard` (leader inbox, home 2PC
@@ -250,6 +370,14 @@ void BdsScheduler::HandleMessage(ShardId shard, ShardId from,
       if (state.by_color.size() <= color) state.by_color.resize(color + 1);
       state.by_color[color].push_back(id);
     }
+  } else if (auto* color_class = std::get_if<ColorClassMsg>(&message)) {
+    // Sharded-leader mode, Phase 2 arrival at a co-leader: park the whole
+    // color class until its Phase-3 slot.
+    SSHARD_CHECK(color_leaders_ > 1 &&
+                 "ColorClassMsg outside the sharded-leader mode");
+    auto& slot = co_[shard].by_color[color_class->color];
+    SSHARD_CHECK(slot.empty() && "color class delivered twice");
+    slot = std::move(color_class->txns);
   } else if (std::get_if<EpochPlanMsg>(&message) != nullptr) {
     // Epoch plan broadcast: models the communication; the round plan is
     // derived serially in BeginRound from the same data.
@@ -263,29 +391,12 @@ void BdsScheduler::HandleMessage(ShardId shard, ShardId from,
     vote_msg.commit = vote;
     outbox_.Send(shard, sub_msg->coordinator, Message{vote_msg});
   } else if (auto* vote_msg = std::get_if<VoteMsg>(&message)) {
-    // Phase 3 round 3: the home shard collects votes; once complete it
-    // confirms and drops the 2PC record (the outcome is sealed here).
-    HomeState& state = home_[shard];
-    auto it = state.in_epoch.find(vote_msg->txn);
-    SSHARD_CHECK(it != state.in_epoch.end());
-    InFlightTxn& in_flight = it->second;
-    if (vote_msg->commit) {
-      ++in_flight.commit_votes;
-    } else {
-      ++in_flight.abort_votes;
-    }
-    const auto expected =
-        static_cast<std::uint32_t>(in_flight.txn.subs().size());
-    if (in_flight.commit_votes + in_flight.abort_votes == expected) {
-      const bool commit = in_flight.abort_votes == 0;
-      for (const txn::SubTransaction& sub : in_flight.txn.subs()) {
-        ConfirmMsg confirm;
-        confirm.txn = vote_msg->txn;
-        confirm.commit = commit;
-        outbox_.Send(shard, sub.destination, Message{confirm});
-      }
-      state.in_epoch.erase(it);
-    }
+    // Votes arrive at whichever shard coordinates the transaction: the
+    // home shard in the legacy mode, the color's co-leader in the sharded
+    // one (the destination replied to SubTxnMsg::coordinator either way).
+    CollectVote(color_leaders_ > 1 ? co_[shard].in_flight
+                                   : home_[shard].in_epoch,
+                *vote_msg, shard);
   } else if (auto* confirm = std::get_if<ConfirmMsg>(&message)) {
     // Phase 3 round 4: destination commits/aborts and clears state.
     auto it = dest_pending_[shard].find(confirm->txn);
@@ -299,11 +410,28 @@ void BdsScheduler::HandleMessage(ShardId shard, ShardId from,
 }
 
 namespace {
+// "bds" is the paper's single-leader Algorithm 1 verbatim (the
+// bds_color_leaders knob is deliberately ignored — the sharded commit path
+// is its own registered mode, so the baseline stays the baseline).
 const SchedulerRegistrar kBdsRegistrar{
     "bds", [](const SimConfig& config, SchedulerDeps& deps) {
       BdsConfig bds;
       bds.coloring = config.coloring;
       bds.rotate_leader = config.bds_rotate_leader;
+      return std::unique_ptr<Scheduler>(
+          std::make_unique<BdsScheduler>(deps.metric, deps.ledger, bds));
+    }};
+
+// "bds_sharded": color classes partitioned across
+// SimConfig::bds_color_leaders co-leader shards (1 reduces to the exact
+// legacy path — the bit-identity golden in leader_sharding_test).
+const SchedulerRegistrar kBdsShardedRegistrar{
+    "bds_sharded", [](const SimConfig& config, SchedulerDeps& deps) {
+      SSHARD_CHECK(config.bds_color_leaders >= 1);
+      BdsConfig bds;
+      bds.coloring = config.coloring;
+      bds.rotate_leader = config.bds_rotate_leader;
+      bds.color_leaders = config.bds_color_leaders;
       return std::unique_ptr<Scheduler>(
           std::make_unique<BdsScheduler>(deps.metric, deps.ledger, bds));
     }};

@@ -40,6 +40,25 @@
 // the outbox lanes and the ledger journal. Home shards learn their colors
 // from the leader's ColorAssignMsg (round offset 2) rather than by peeking
 // at leader state, which is what makes Phase 3 shard-local.
+//
+// Sharded-leader mode (BdsConfig::color_leaders = L > 1): the epoch leader
+// still receives every pending transaction and colors the conflict graph
+// serially — the coloring is the one genuinely global decision, and keeping
+// it on one shard keeps it bit-reproducible. What gets sharded is the
+// *commit* role: instead of returning ColorAssignMsg to the home shards,
+// the leader ships each whole color class to a deterministic co-leader
+// shard (color c -> S_{(leader + 1 + c mod L) mod s}, see CoLeaderFor) via
+// ColorClassMsg. The co-leader becomes the Phase-3 coordinator for its
+// classes: it sends the subtransactions, collects the votes and confirms —
+// so vote fan-in no longer funnels through per-home 2PC records that all
+// drained through one epoch pipeline, and consecutive colors run on
+// distinct shards. Timing is identical to the legacy path (the class ships
+// at offset 1, arrives at offset 2 — exactly when color 0's sends are due,
+// and deliveries are handled before phase actions), so commit rounds,
+// latencies and counts match the single-leader run bit-for-bit; only the
+// message endpoints/counts differ. Every co-leader structure is owned by
+// the co-leader shard, so the Debug ownership checker proves the
+// decomposition exactly like the legacy one.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +86,11 @@ struct BdsConfig {
   /// Rotate the leader shard every epoch (the paper's load-balancing rule);
   /// disabled in the leader-rotation ablation.
   bool rotate_leader = true;
+  /// Number of co-leader shards the epoch's color classes are partitioned
+  /// across (see the sharded-leader mode note above). 1 = the paper's
+  /// single-leader Algorithm 1; values above the shard count are clamped.
+  /// Must be >= 1 (the constructor dies otherwise).
+  std::uint32_t color_leaders = 1;
 };
 
 class BdsScheduler final : public Scheduler {
@@ -112,11 +136,26 @@ class BdsScheduler final : public Scheduler {
   std::uint64_t QueueDepth(ShardId shard) const override {
     return network_.pending_for(shard);
   }
-  const char* name() const override { return "bds"; }
+  double LeaderQueueMax() const override;
+  const char* name() const override {
+    return color_leaders_ > 1 ? "bds_sharded" : "bds";
+  }
+
+  /// The deterministic color-class -> co-leader mapping of the sharded
+  /// mode: color c is coordinated by S_{(leader + 1 + c mod L) mod s}.
+  /// Static so tests (ownership death tests included) can reproduce the
+  /// ownership boundary without poking scheduler internals.
+  static ShardId CoLeaderFor(ShardId leader, Color color,
+                             std::uint32_t color_leaders, ShardId shards) {
+    return static_cast<ShardId>(
+        (static_cast<std::uint64_t>(leader) + 1 + color % color_leaders) %
+        shards);
+  }
 
   /// Introspection for tests / benches.
   std::uint64_t epoch_index() const { return epoch_index_; }
   ShardId current_leader() const { return leader_; }
+  std::uint32_t color_leaders() const { return color_leaders_; }
   std::uint32_t last_epoch_colors() const { return num_colors_; }
   std::uint64_t max_epoch_length() const { return max_epoch_length_; }
   std::uint64_t pending_in_queues() const;
@@ -132,10 +171,20 @@ class BdsScheduler final : public Scheduler {
 
   /// Per-home-shard epoch state: the 2PC records the home shard drives plus
   /// its slice of the per-color send schedule (rebuilt each epoch from the
-  /// leader's ColorAssignMsg).
+  /// leader's ColorAssignMsg). Unused in the sharded-leader mode, where the
+  /// co-leaders coordinate instead of the homes.
   struct HomeState {
     std::unordered_map<TxnId, InFlightTxn> in_epoch;
     std::vector<std::vector<TxnId>> by_color;
+  };
+
+  /// Per-co-leader epoch state (sharded-leader mode only): the color
+  /// classes received from the epoch leader and awaiting their Phase-3
+  /// slot, plus the 2PC records of the classes currently in flight. Owned
+  /// by the co-leader shard — only its StepShard may touch it.
+  struct CoLeaderState {
+    std::unordered_map<Color, std::vector<txn::Transaction>> by_color;
+    std::unordered_map<TxnId, InFlightTxn> in_flight;
   };
 
   /// What this round does, decided serially in BeginRound.
@@ -144,6 +193,9 @@ class BdsScheduler final : public Scheduler {
   void ShipPending(ShardId home);
   void LeaderColorAndReply(Round round);
   void SendSubTxnsForColor(ShardId home, Color color);
+  void CoLeaderSendColor(ShardId shard, Color color);
+  void CollectVote(std::unordered_map<TxnId, InFlightTxn>& records,
+                   const VoteMsg& vote, ShardId shard);
   void HandleMessage(ShardId shard, ShardId from, Message& message,
                      Round round);
 
@@ -187,6 +239,11 @@ class BdsScheduler final : public Scheduler {
 
   // Home-shard side, indexed by home shard.
   std::vector<HomeState> home_;
+
+  // Co-leader side, indexed by shard (sharded-leader mode only; the
+  // vector is allocated either way so indexing is branch-free).
+  std::vector<CoLeaderState> co_;
+  std::uint32_t color_leaders_ = 1;  ///< effective L (clamped to s)
 
   // Destination-shard side: subtransactions received and awaiting confirm.
   std::vector<std::unordered_map<TxnId, txn::SubTransaction>> dest_pending_;

@@ -12,6 +12,8 @@ std::string SimConfig::Describe() const {
      << " b=" << burstiness << " strat=" << strategy << " rounds=" << rounds
      << " seed=" << seed;
   if (worker_threads > 1) os << " wt=" << worker_threads;
+  if (bds_color_leaders > 1) os << " cl=" << bds_color_leaders;
+  if (fds_top_roots > 1) os << " roots=" << fds_top_roots;
   if (scheduler == "backpressure") {
     os << " bp=" << backpressure_high << "/" << backpressure_low;
   }
@@ -34,6 +36,23 @@ bool ValidateMinShardsPerWorker(std::uint32_t min_shards_per_worker) {
                "invalid min-shards-per-worker: need "
                "--min-shards-per-worker >= 1 (got %u)\n",
                min_shards_per_worker);
+  return false;
+}
+
+bool ValidateBdsColorLeaders(std::uint32_t bds_color_leaders) {
+  if (bds_color_leaders >= 1) return true;
+  std::fprintf(stderr,
+               "invalid bds-color-leaders: need --bds-color-leaders >= 1 "
+               "(got %u)\n",
+               bds_color_leaders);
+  return false;
+}
+
+bool ValidateFdsTopRoots(std::uint32_t fds_top_roots) {
+  if (fds_top_roots >= 1) return true;
+  std::fprintf(stderr,
+               "invalid fds-top-roots: need --fds-top-roots >= 1 (got %u)\n",
+               fds_top_roots);
   return false;
 }
 

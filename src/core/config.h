@@ -71,6 +71,20 @@ struct SimConfig {
   /// consensus::BackpressureConfig.
   std::uint64_t backpressure_high = kDefaultBackpressureHigh;
   std::uint64_t backpressure_low = kDefaultBackpressureLow;
+  /// Sharded-leader BDS ("bds_sharded" scheduler): number of co-leader
+  /// shards the epoch leader partitions its color classes across (color c
+  /// -> co-leader c mod L). 1 = the legacy single-leader commit path;
+  /// values above the shard count are clamped. Must be >= 1; CLIs validate
+  /// via ValidateBdsColorLeaders and exit 2, the scheduler constructor
+  /// re-checks as an aborting invariant.
+  std::uint32_t bds_color_leaders = 1;
+  /// Multi-root FDS hierarchy ("fds_multiroot" scheduler, and the hierarchy
+  /// builders): number of interchangeable full-membership top-layer roots
+  /// diameter-spanning transactions hash across. 1 = the classic single-top
+  /// hierarchy; values above the shard count are clamped. Must be >= 1;
+  /// CLIs validate via ValidateFdsTopRoots and exit 2, the hierarchy
+  /// builder re-checks as an aborting invariant.
+  std::uint32_t fds_top_roots = 1;
 
   // Run control.
   Round rounds = 25000;
@@ -122,6 +136,20 @@ bool ValidateBackpressureWatermarks(std::uint64_t low, std::uint64_t high);
 /// invariant for non-CLI embedders.
 bool ValidateMinShardsPerWorker(std::uint32_t min_shards_per_worker);
 
+/// CLI-shared validation for the sharded-BDS co-leader count: true when
+/// usable (>= 1), otherwise prints one "invalid bds-color-leaders: ..."
+/// line to stderr and returns false so the caller can exit 2 (the
+/// cli_invalid_color_leaders_exits_2 ctest greps it). The scheduler
+/// constructor re-checks the condition as an aborting invariant.
+bool ValidateBdsColorLeaders(std::uint32_t bds_color_leaders);
+
+/// CLI-shared validation for the multi-root FDS top-root count: true when
+/// usable (>= 1), otherwise prints one "invalid fds-top-roots: ..." line to
+/// stderr and returns false so the caller can exit 2 (the
+/// cli_invalid_top_roots_exits_2 ctest greps it). The hierarchy builders
+/// re-check the condition as an aborting invariant.
+bool ValidateFdsTopRoots(std::uint32_t fds_top_roots);
+
 /// Aggregated outcome of one simulation run.
 struct SimResult {
   // Figure metrics.
@@ -134,6 +162,11 @@ struct SimResult {
   /// Peak over executed rounds of LeaderQueueMean() — the hot-destination
   /// saturation metric the backpressure bench compares head-to-head.
   double max_leader_queue = 0;
+  /// Peak over executed rounds of LeaderQueueMax() — the single hottest
+  /// leader queue ever observed. LeaderQueueMean dilutes one overloaded
+  /// leader across every active cluster; this is the undiluted pathology
+  /// signal the leader-sharding fix targets.
+  double max_single_leader_queue = 0;
 
   // Volume.
   std::uint64_t injected = 0;

@@ -31,6 +31,8 @@ Simulation::Simulation(const SimConfig& config)
   SSHARD_CHECK(config.burstiness > 0.0);
   SSHARD_CHECK(config.worker_threads >= 1);
   SSHARD_CHECK(config.min_shards_per_worker >= 1);
+  SSHARD_CHECK(config.bds_color_leaders >= 1);
+  SSHARD_CHECK(config.fds_top_roots >= 1);
 
   metric_ = net::MakeMetric(config.topology, config.shards, &rng_);
 
@@ -60,8 +62,9 @@ Simulation::Simulation(const SimConfig& config)
                                                   strategy_deps));
 
   SchedulerDeps deps{*metric_, *ledger_,
-                     [this]() -> const cluster::Hierarchy& {
-                       return EnsureHierarchy();
+                     [this](std::uint32_t top_roots)
+                         -> const cluster::Hierarchy& {
+                       return EnsureHierarchy(top_roots);
                      }};
   scheduler_ =
       SchedulerRegistry::Global().Build(config.scheduler, config_, deps);
@@ -79,13 +82,20 @@ Simulation::Simulation(const SimConfig& config)
 
 Simulation::~Simulation() = default;
 
-const cluster::Hierarchy& Simulation::EnsureHierarchy() {
+const cluster::Hierarchy& Simulation::EnsureHierarchy(
+    std::uint32_t top_roots) {
+  SSHARD_CHECK(top_roots >= 1);
   if (!hierarchy_) {
     hierarchy_ = std::make_unique<cluster::Hierarchy>(
         config_.hierarchy == HierarchyKind::kLineShifted
-            ? cluster::Hierarchy::BuildLineShifted(*metric_)
-            : cluster::Hierarchy::BuildSparseCover(*metric_));
+            ? cluster::Hierarchy::BuildLineShifted(*metric_, top_roots)
+            : cluster::Hierarchy::BuildSparseCover(*metric_, top_roots));
+    hierarchy_top_roots_ = top_roots;
   }
+  // One hierarchy per simulation: a second builder asking for a different
+  // root count would silently get the first one's shape.
+  SSHARD_CHECK(hierarchy_top_roots_ == top_roots &&
+               "hierarchy already built with a different top_roots");
   return *hierarchy_;
 }
 
@@ -151,6 +161,7 @@ SimResult Simulation::Run() {
 
   stats::RunningStats pending_per_round;
   stats::RunningStats leader_queue_per_round;
+  stats::RunningStats leader_queue_max_per_round;
   std::uint64_t max_pending = 0;
   std::uint64_t spill_peak = 0;
 
@@ -165,6 +176,7 @@ SimResult Simulation::Run() {
     pending_per_round.Add(static_cast<double>(pending) /
                           static_cast<double>(config_.shards));
     leader_queue_per_round.Add(scheduler_->LeaderQueueMean());
+    leader_queue_max_per_round.Add(scheduler_->LeaderQueueMax());
     // Spill-queue accounting: parked transactions are inside `pending`
     // already (they were registered before Inject deferred them), so the
     // peak is recorded as its own column rather than added anywhere. The
@@ -219,6 +231,7 @@ SimResult Simulation::Run() {
   result.avg_pending_per_shard = pending_per_round.mean();
   result.avg_leader_queue = leader_queue_per_round.mean();
   result.max_leader_queue = leader_queue_per_round.max();
+  result.max_single_leader_queue = leader_queue_max_per_round.max();
   result.spill_peak = spill_peak;
   const stats::LatencyRecorder& latency = ledger_->latency();
   result.avg_latency = latency.average_latency();

@@ -109,7 +109,7 @@ class Simulation {
   }
 
  private:
-  const cluster::Hierarchy& EnsureHierarchy();
+  const cluster::Hierarchy& EnsureHierarchy(std::uint32_t top_roots);
   /// Generate `round`'s injections into the reusable buffer.
   void Generate(Round round);
   /// One full round; when `generate_round` != kNoRound and the pipelined
@@ -122,6 +122,7 @@ class Simulation {
   std::unique_ptr<chain::AccountMap> accounts_;
   std::unique_ptr<CommitLedger> ledger_;
   std::unique_ptr<cluster::Hierarchy> hierarchy_;
+  std::uint32_t hierarchy_top_roots_ = 0;  ///< 0 = not built yet
   std::unique_ptr<adversary::Adversary> adversary_;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<ThreadPool> pool_;  ///< persistent; worker_threads > 1

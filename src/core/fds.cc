@@ -66,8 +66,13 @@ void FdsScheduler::Inject(const txn::Transaction& txn) {
   for (const ShardId dest : txn.destinations()) {
     x = std::max(x, metric_->distance(txn.home(), dest));
   }
+  // The txn id salts the top-root choice: diameter-spanning transactions
+  // hash across the interchangeable roots (multi-root hierarchies only; a
+  // single-top hierarchy ignores the salt entirely). Salting by home alone
+  // would collapse back to one root under two-endpoint workloads like
+  // diameter_span.
   const cluster::Cluster& home_cluster =
-      hierarchy_->FindHomeCluster(txn.home(), x);
+      hierarchy_->FindHomeCluster(txn.home(), x, txn.id());
   ClusterState& state = cluster_state_[home_cluster.id];
   if (!state.ever_used) {
     state.ever_used = true;
@@ -272,16 +277,48 @@ double FdsScheduler::LeaderQueueMean() const {
          static_cast<double>(used_cluster_count_);
 }
 
+double FdsScheduler::LeaderQueueMax() const {
+  // The single hottest cluster queue: sch_ldr plus the epoch's incoming
+  // batch — the undiluted signal of one leader degenerating (the mean
+  // above spreads it over every used cluster).
+  std::uint64_t max_queue = 0;
+  for (const std::uint32_t id : leadered_clusters_) {
+    const ClusterState& state = cluster_state_[id];
+    max_queue = std::max<std::uint64_t>(
+        max_queue, state.active.size() + state.incoming.size());
+  }
+  return static_cast<double>(max_queue);
+}
+
 namespace {
+FdsConfig FdsConfigFrom(const SimConfig& config) {
+  FdsConfig fds;
+  fds.coloring = config.coloring;
+  fds.reschedule = config.fds_reschedule;
+  fds.commit_mode = config.fds_pipelined ? CommitMode::kPipelined
+                                         : CommitMode::kPinned;
+  return fds;
+}
+
+// "fds" is the paper's hierarchy verbatim: a single top-layer root (the
+// fds_top_roots knob is deliberately ignored — the multi-root hierarchy is
+// its own registered mode, so the baseline stays the baseline).
 const SchedulerRegistrar kFdsRegistrar{
     "fds", [](const SimConfig& config, SchedulerDeps& deps) {
-      FdsConfig fds;
-      fds.coloring = config.coloring;
-      fds.reschedule = config.fds_reschedule;
-      fds.commit_mode = config.fds_pipelined ? CommitMode::kPipelined
-                                             : CommitMode::kPinned;
       return std::unique_ptr<Scheduler>(std::make_unique<FdsScheduler>(
-          deps.metric, deps.hierarchy(), deps.ledger, fds));
+          deps.metric, deps.hierarchy(1), deps.ledger,
+          FdsConfigFrom(config)));
+    }};
+
+// "fds_multiroot": the hierarchy's top cover split into
+// SimConfig::fds_top_roots interchangeable roots (1 reduces to the exact
+// single-top hierarchy — the bit-identity golden in leader_sharding_test).
+const SchedulerRegistrar kFdsMultirootRegistrar{
+    "fds_multiroot", [](const SimConfig& config, SchedulerDeps& deps) {
+      SSHARD_CHECK(config.fds_top_roots >= 1);
+      return std::unique_ptr<Scheduler>(std::make_unique<FdsScheduler>(
+          deps.metric, deps.hierarchy(config.fds_top_roots), deps.ledger,
+          FdsConfigFrom(config)));
     }};
 }  // namespace
 

@@ -104,6 +104,7 @@ class FdsScheduler final : public Scheduler {
   ShardId shard_count() const override { return metric_->shard_count(); }
   bool Idle() const override;
   double LeaderQueueMean() const override;
+  double LeaderQueueMax() const override;
   std::uint64_t MessagesSent() const override {
     return network_.stats().messages_sent;
   }
@@ -144,7 +145,9 @@ class FdsScheduler final : public Scheduler {
   /// ShardTrafficFor(shard).InflowSinceSnapshot() reads one round's
   /// arrivals — the backpressure wrapper calls this once per BeginRound.
   void SnapshotInflow() { network_.SnapshotInflow(); }
-  const char* name() const override { return "fds"; }
+  const char* name() const override {
+    return hierarchy_->top_roots().size() > 1 ? "fds_multiroot" : "fds";
+  }
 
   /// Introspection.
   Round epoch_length(std::uint32_t layer) const;

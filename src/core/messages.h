@@ -3,7 +3,8 @@
 // All scheduler communication flows through net::Network<Message> so that
 // delivery delays equal the metric distances and traffic is accounted.
 // BDS uses {TxnBatchMsg, EpochPlanMsg, ColorAssignMsg, SubTxnMsg, VoteMsg,
-// ConfirmMsg}; FDS additionally uses the retract handshake (see
+// ConfirmMsg} plus ColorClassMsg in the sharded-leader mode; FDS
+// additionally uses the retract handshake (see
 // commit_protocol.h for why the handshake exists); Direct uses the commit
 // protocol subset only.
 #pragma once
@@ -38,6 +39,18 @@ struct EpochPlanMsg {
 struct ColorAssignMsg {
   std::uint64_t epoch = 0;
   std::vector<std::pair<TxnId, Color>> colors;
+};
+
+/// Sharded-leader BDS (color_leaders > 1), leader -> co-leader: one whole
+/// color class of the epoch's coloring. The co-leader shard mapped to
+/// `color` becomes the Phase-3 coordinator for these transactions (it sends
+/// the subtransactions, collects the votes and confirms), so the commit
+/// fan-out runs across color classes in parallel instead of serializing on
+/// the homes' per-color schedules. Payload units = transactions shipped.
+struct ColorClassMsg {
+  std::uint64_t epoch = 0;
+  Color color = 0;
+  std::vector<txn::Transaction> txns;
 };
 
 /// Coordinator (home shard or cluster leader) -> destination shard: one
@@ -88,7 +101,8 @@ struct RetractAckMsg {
 };
 
 using Message =
-    std::variant<TxnBatchMsg, EpochPlanMsg, ColorAssignMsg, SubTxnMsg,
-                 VoteMsg, ConfirmMsg, RetractRequestMsg, RetractAckMsg>;
+    std::variant<TxnBatchMsg, EpochPlanMsg, ColorAssignMsg, ColorClassMsg,
+                 SubTxnMsg, VoteMsg, ConfirmMsg, RetractRequestMsg,
+                 RetractAckMsg>;
 
 }  // namespace stableshard::core

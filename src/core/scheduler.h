@@ -158,6 +158,14 @@ class Scheduler {
   /// per active cluster leader (Figure 3's left panel).
   virtual double LeaderQueueMean() const { return 0.0; }
 
+  /// Peak variant of LeaderQueueMean: the single largest coordinator queue
+  /// right now (FDS: max sch_ldr over led clusters; sharded BDS: max
+  /// in-flight coordination load over leader/co-leader shards). The mean
+  /// dilutes one overloaded leader across every active cluster — this is
+  /// the undiluted signal the single-leader-degeneration fix is measured
+  /// by. Serial phases only; same determinism obligation as the mean.
+  virtual double LeaderQueueMax() const { return 0.0; }
+
   virtual std::uint64_t MessagesSent() const = 0;
   virtual std::uint64_t PayloadUnits() const = 0;
 

@@ -53,8 +53,11 @@ struct SchedulerDeps {
   const net::ShardMetric& metric;
   CommitLedger& ledger;
   /// Builds (once) and returns the cluster hierarchy configured by
-  /// SimConfig::hierarchy; the engine owns the result.
-  std::function<const cluster::Hierarchy&()> hierarchy;
+  /// SimConfig::hierarchy with `top_roots` top-layer root clusters; the
+  /// engine owns the result. Builders pass 1 for the classic single-top
+  /// hierarchy or SimConfig::fds_top_roots for the multi-root one; a second
+  /// call with a different count dies (one hierarchy per simulation).
+  std::function<const cluster::Hierarchy&(std::uint32_t top_roots)> hierarchy;
 };
 
 /// The shared common::Registry supplies Register / Contains / Build /

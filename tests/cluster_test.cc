@@ -3,8 +3,11 @@
 // (property ii), and home-cluster lookup across topologies.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "cluster/hierarchy.h"
 #include "common/math_util.h"
@@ -219,6 +222,163 @@ TEST(Hierarchy, ClustersContainingSortedByLevel) {
       EXPECT_LE(std::tuple(prev.layer, prev.sublayer, prev.id),
                 std::tuple(next.layer, next.sublayer, next.id));
     }
+  }
+}
+
+TEST(MultiRoot, DefaultIsSingleRoot) {
+  net::LineMetric metric(32);
+  const auto hierarchy = Hierarchy::BuildLineShifted(metric);
+  ASSERT_EQ(hierarchy.top_roots().size(), 1u);
+  const Cluster& root = hierarchy.clusters()[hierarchy.top_roots()[0]];
+  EXPECT_TRUE(root.top_root);
+  EXPECT_EQ(root.size(), 32u);
+  EXPECT_TRUE(root.HasLeader());
+}
+
+TEST(MultiRoot, RootsAreFullLeaderedAndPairwiseDistinctlyLed) {
+  for (const bool shifted : {true, false}) {
+    net::LineMetric metric(64);
+    const auto hierarchy = shifted
+                               ? Hierarchy::BuildLineShifted(metric, 4)
+                               : Hierarchy::BuildSparseCover(metric, 4);
+    ASSERT_EQ(hierarchy.top_roots().size(), 4u);
+    std::vector<ShardId> leaders;
+    for (const std::uint32_t id : hierarchy.top_roots()) {
+      const Cluster& root = hierarchy.clusters()[id];
+      EXPECT_TRUE(root.top_root);
+      EXPECT_EQ(root.size(), 64u) << "roots must be full-membership copies";
+      ASSERT_TRUE(root.HasLeader());
+      leaders.push_back(root.leader);
+    }
+    // A full top-layer cluster qualifies every shard as leader, so with
+    // roots <= shards the spread must give pairwise-distinct leaders —
+    // colocated root leaders would recreate the very serialization the
+    // multi-root split removes.
+    std::sort(leaders.begin(), leaders.end());
+    EXPECT_TRUE(std::adjacent_find(leaders.begin(), leaders.end()) ==
+                leaders.end());
+    // Extra roots never break the Section-6.1 properties.
+    ExpectLeadersValid(hierarchy, metric);
+    ExpectHomeClusterSound(hierarchy, metric);
+  }
+}
+
+TEST(MultiRoot, RootCountClampedToShardCount) {
+  net::LineMetric metric(4);
+  const auto hierarchy = Hierarchy::BuildLineShifted(metric, 100);
+  EXPECT_EQ(hierarchy.top_roots().size(), 4u);
+}
+
+TEST(MultiRoot, SingleRootMatchesClassicShape) {
+  // top_roots = 1 must be the exact classic construction: same clusters,
+  // same leaders, cluster by cluster.
+  net::LineMetric metric(32);
+  const auto classic = Hierarchy::BuildLineShifted(metric);
+  const auto one_root = Hierarchy::BuildLineShifted(metric, 1);
+  ASSERT_EQ(classic.clusters().size(), one_root.clusters().size());
+  for (std::size_t i = 0; i < classic.clusters().size(); ++i) {
+    const Cluster& a = classic.clusters()[i];
+    const Cluster& b = one_root.clusters()[i];
+    EXPECT_EQ(a.layer, b.layer);
+    EXPECT_EQ(a.sublayer, b.sublayer);
+    EXPECT_EQ(a.shards, b.shards);
+    EXPECT_EQ(a.leader, b.leader);
+    EXPECT_EQ(a.top_root, b.top_root);
+  }
+}
+
+TEST(MultiRoot, SaltSpreadsDiameterSpanningLookupsAcrossRoots) {
+  net::LineMetric metric(32);
+  const auto hierarchy = Hierarchy::BuildLineShifted(metric, 4);
+  const Distance diameter = metric.Diameter();
+  std::vector<int> hits(hierarchy.clusters().size(), 0);
+  for (std::uint64_t salt = 0; salt < 16; ++salt) {
+    const Cluster& cluster = hierarchy.FindHomeCluster(0, diameter, salt);
+    EXPECT_TRUE(cluster.top_root);
+    EXPECT_TRUE(cluster.HasLeader());
+    EXPECT_EQ(cluster.size(), 32u);
+    ++hits[cluster.id];
+    // Deterministic: the same (home, x, salt) always lands on the same
+    // root.
+    EXPECT_EQ(&cluster, &hierarchy.FindHomeCluster(0, diameter, salt));
+  }
+  // 16 consecutive salts over 4 roots: every root gets hit.
+  for (const std::uint32_t id : hierarchy.top_roots()) {
+    EXPECT_EQ(hits[id], 4) << "root " << id;
+  }
+  // Lookups that resolve below the top layer ignore the salt entirely.
+  EXPECT_EQ(&hierarchy.FindHomeCluster(5, 0, 0),
+            &hierarchy.FindHomeCluster(5, 0, 99));
+}
+
+// Mirror of LeaderCandidates in hierarchy.cc: a shard qualifies as leader
+// of a layer-l cluster iff its (2^l - 1)-neighborhood stays inside the
+// cluster.
+std::vector<ShardId> QualifyingLeaders(const net::ShardMetric& metric,
+                                       const Cluster& cluster) {
+  const Distance radius =
+      cluster.layer >= 31
+          ? metric.Diameter()
+          : static_cast<Distance>((1u << cluster.layer) - 1);
+  std::vector<ShardId> candidates;
+  for (const ShardId candidate : cluster.shards) {
+    bool contained = true;
+    for (const ShardId other : metric.Neighborhood(candidate, radius)) {
+      if (!cluster.Contains(other)) {
+        contained = false;
+        break;
+      }
+    }
+    if (contained) candidates.push_back(candidate);
+  }
+  return candidates;
+}
+
+// Regression for the leader-placement audit: replay the construction in
+// cluster-id order (== AddCluster order) and assert a shard leads two
+// clusters of one layer only when every candidate of the later cluster
+// was already taken — the pigeonhole case (e.g. the 32-shard line's
+// layer 0 has 33 clusters), where reuse is unavoidable.
+void ExpectLeadersSpreadWithinLayers(const Hierarchy& hierarchy,
+                                     const net::ShardMetric& metric) {
+  std::vector<std::vector<std::uint8_t>> taken;
+  for (const Cluster& cluster : hierarchy.clusters()) {
+    if (!cluster.HasLeader()) continue;
+    if (taken.size() <= cluster.layer) taken.resize(cluster.layer + 1);
+    std::vector<std::uint8_t>& layer_taken = taken[cluster.layer];
+    if (layer_taken.empty()) layer_taken.assign(metric.shard_count(), 0);
+    if (layer_taken[cluster.leader]) {
+      for (const ShardId candidate : QualifyingLeaders(metric, cluster)) {
+        EXPECT_TRUE(layer_taken[candidate])
+            << "cluster " << cluster.id << " (layer " << cluster.layer
+            << ") reused leader " << cluster.leader << " although candidate "
+            << candidate << " was free";
+      }
+    }
+    layer_taken[cluster.leader] = 1;
+  }
+}
+
+TEST(LeaderSpread, NoAvoidableSameLayerColocationLineShifted) {
+  for (const ShardId s : {16u, 32u, 64u}) {
+    SCOPED_TRACE("s = " + std::to_string(s));
+    net::LineMetric metric(s);
+    ExpectLeadersSpreadWithinLayers(Hierarchy::BuildLineShifted(metric, 4),
+                                    metric);
+  }
+}
+
+TEST(LeaderSpread, NoAvoidableSameLayerColocationSparseCover) {
+  Rng rng(7);
+  const struct {
+    net::TopologyKind topology;
+    ShardId shards;  // grid needs a square count
+  } cases[] = {{net::TopologyKind::kRing, 32}, {net::TopologyKind::kGrid, 36}};
+  for (const auto& c : cases) {
+    SCOPED_TRACE(net::TopologyName(c.topology));
+    const auto metric = net::MakeMetric(c.topology, c.shards, &rng);
+    ExpectLeadersSpreadWithinLayers(Hierarchy::BuildSparseCover(*metric, 3),
+                                    *metric);
   }
 }
 

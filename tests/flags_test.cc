@@ -1,7 +1,11 @@
-// Unit tests for the command-line flag parser used by simulate_cli.
+// Unit tests for the command-line flag parser used by simulate_cli, plus
+// the SimConfig knob validators the CLIs call before construction (the
+// exit-2 path; the aborting constructor checks are covered by the
+// schedulers' own tests).
 #include <gtest/gtest.h>
 
 #include "common/flags.h"
+#include "core/config.h"
 
 namespace stableshard {
 namespace {
@@ -144,6 +148,23 @@ TEST(Flags, MalformedBoolIsAnError) {
   EXPECT_TRUE(flags.GetBool("opt", true));  // fallback
   EXPECT_FALSE(flags.ok());
   EXPECT_NE(flags.error().find("boolean"), std::string::npos);
+}
+
+TEST(ConfigValidators, BdsColorLeaders) {
+  // Zero co-leaders is an input error (the CLI exits 2 on false); every
+  // positive count is valid — over-large values are clamped by the
+  // scheduler, not rejected here.
+  EXPECT_FALSE(core::ValidateBdsColorLeaders(0));
+  EXPECT_TRUE(core::ValidateBdsColorLeaders(1));
+  EXPECT_TRUE(core::ValidateBdsColorLeaders(4));
+  EXPECT_TRUE(core::ValidateBdsColorLeaders(1u << 20));
+}
+
+TEST(ConfigValidators, FdsTopRoots) {
+  EXPECT_FALSE(core::ValidateFdsTopRoots(0));
+  EXPECT_TRUE(core::ValidateFdsTopRoots(1));
+  EXPECT_TRUE(core::ValidateFdsTopRoots(8));
+  EXPECT_TRUE(core::ValidateFdsTopRoots(1u << 20));
 }
 
 }  // namespace

@@ -28,12 +28,14 @@ using core::SimResult;
 using test::ExpectBitIdenticalResults;
 using test::RunWithWorkers;
 
-// BDS is specified for the uniform model only (Algorithm 1; its
-// constructor dies on non-uniform metrics). Every other scheduler must
-// handle both matrix topologies.
+// BDS (including the sharded-leader "bds_sharded" mode) is specified for
+// the uniform model only (Algorithm 1; its constructor dies on non-uniform
+// metrics). Every other scheduler must handle both matrix topologies.
 bool SupportsTopology(const std::string& scheduler,
                       net::TopologyKind topology) {
-  if (scheduler == "bds") return topology == net::TopologyKind::kUniform;
+  if (scheduler.rfind("bds", 0) == 0) {
+    return topology == net::TopologyKind::kUniform;
+  }
   return true;
 }
 
@@ -56,6 +58,11 @@ SimConfig MatrixConfig(const std::string& scheduler,
   config.rounds = 300;
   config.drain_cap = 120000;
   config.seed = 11;
+  // The sharded/multi-root modes reduce to the legacy paths at their
+  // default knob values; pin non-trivial fan-outs so the matrix actually
+  // exercises the co-leader and multi-root code.
+  config.bds_color_leaders = 4;
+  config.fds_top_roots = 3;
   return config;
 }
 

@@ -9,6 +9,7 @@
 // where they bite) and only the stub's compile/run-through is checked.
 #include <gtest/gtest.h>
 
+#include "core/bds.h"
 #include "core/ownership.h"
 
 namespace stableshard::core {
@@ -91,6 +92,28 @@ TEST(OwnershipDeath, SerialOnlyStateTouchedInParallelPhaseAborts) {
   // e.g. Inject called mid-round: injection queues are serial-only.
   EXPECT_DEATH(SSHARD_SERIAL_PHASE(registry),
                "serial-phase-only state touched during the step phase");
+}
+
+TEST(OwnershipDeath, CrossCoLeaderTouchAborts) {
+  if (!kCheckerActive) GTEST_SKIP() << "checker compiled out under NDEBUG";
+  // The sharded-BDS ownership boundary: each color class belongs to its
+  // co-leader shard (BdsScheduler::CoLeaderFor), and a co-leader stepping
+  // into another class's in-flight state — the classic "drain a neighbor's
+  // queue while I'm here" bug — must abort with the touched shard named.
+  constexpr ShardId kShards = 16;
+  constexpr ShardId kLeader = 3;
+  constexpr std::uint32_t kColorLeaders = 4;
+  const ShardId mine =
+      BdsScheduler::CoLeaderFor(kLeader, /*color=*/0, kColorLeaders, kShards);
+  const ShardId other =
+      BdsScheduler::CoLeaderFor(kLeader, /*color=*/1, kColorLeaders, kShards);
+  ASSERT_NE(mine, other);
+  OwnershipRegistry registry(kShards);
+  registry.BeginStepPhase();
+  OwnershipRegistry::ShardClaim claim(registry, mine);
+  SSHARD_OWNED(registry, mine);  // own color class: fine
+  EXPECT_DEATH(SSHARD_OWNED(registry, other),
+               "cross-shard touch of shard 5 during the step phase");
 }
 
 TEST(OwnershipDeath, PhaseResetClearsStaleClaims) {

@@ -28,8 +28,11 @@ inline core::SimConfig SmallConfig(const std::string& scheduler) {
   config.rounds = 1500;
   config.drain_cap = 60000;
   config.seed = 7;
-  config.topology = scheduler == "bds" ? net::TopologyKind::kUniform
-                                       : net::TopologyKind::kLine;
+  // Both BDS modes ("bds" and the sharded-leader "bds_sharded") require
+  // the uniform model.
+  config.topology = scheduler.rfind("bds", 0) == 0
+                        ? net::TopologyKind::kUniform
+                        : net::TopologyKind::kLine;
   return config;
 }
 
@@ -63,6 +66,7 @@ inline void ExpectBitIdenticalResults(const core::SimResult& a,
   EXPECT_DOUBLE_EQ(a.avg_pending_per_shard, b.avg_pending_per_shard);
   EXPECT_DOUBLE_EQ(a.avg_leader_queue, b.avg_leader_queue);
   EXPECT_DOUBLE_EQ(a.max_leader_queue, b.max_leader_queue);
+  EXPECT_DOUBLE_EQ(a.max_single_leader_queue, b.max_single_leader_queue);
   EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
   EXPECT_DOUBLE_EQ(a.max_latency, b.max_latency);
   EXPECT_DOUBLE_EQ(a.p50_latency, b.p50_latency);
