@@ -69,6 +69,16 @@ constexpr const char* kUsage = R"(simulate_cli — StableShard simulation runner
                reaches this (default 128; below it the pool's dispatch
                overhead beats the parallel win and the serial path runs —
                results are identical either way; must be >= 1)
+  --wal        persist every commit/abort to the write-ahead log (off by
+               default; fault-free runs are bit-identical either way)
+  --checkpoint-interval  cut a full-state checkpoint every N protocol
+               rounds (requires --wal; default 0 = never)
+  --faults     deterministic churn schedule "<shard>@<round>+<down>[,...]":
+               crash <shard> at <round>, keep it dark for <down> rounds,
+               then replay it from checkpoint + WAL and rejoin (requires
+               --wal; crash rounds strictly increasing, within --rounds)
+  --replay-bytes-per-round  WAL bytes replayed per recovery round — paces
+               how many wall rounds a rejoin costs (default 4096; >= 1)
   --seed       RNG seed                      (default 42)
   --series     record the pending series with this window (rounds)
   --csv        append one result row to this CSV file
@@ -158,6 +168,27 @@ bool ParseConfig(const Flags& flags, core::SimConfig* config) {
     return false;
   }
 
+  config->wal = flags.GetBool("wal", false);
+  config->checkpoint_interval = static_cast<Round>(
+      flags.GetUint("checkpoint-interval", config->checkpoint_interval));
+  if (!core::ValidateCheckpointInterval(config->checkpoint_interval,
+                                        config->wal)) {
+    return false;
+  }
+  config->faults = flags.GetString("faults", "");
+  // Exit-2 contract again: a malformed churn spec (or one pointing at a
+  // shard/round that doesn't exist) is an input error, never the
+  // SSHARD_CHECK abort inside the engine constructor.
+  if (!core::ValidateFaults(config->faults, config->wal, config->shards,
+                            config->rounds)) {
+    return false;
+  }
+  config->replay_bytes_per_round = flags.GetUint(
+      "replay-bytes-per-round", config->replay_bytes_per_round);
+  if (!core::ValidateReplayBytesPerRound(config->replay_bytes_per_round)) {
+    return false;
+  }
+
   config->local_radius =
       static_cast<Distance>(flags.GetUint("radius", config->local_radius));
   config->zipf_theta = flags.GetDouble("zipf", config->zipf_theta);
@@ -235,6 +266,18 @@ int main(int argc, char** argv) {
   std::printf("messages            : %llu (payload units %llu)\n",
               static_cast<unsigned long long>(result.messages),
               static_cast<unsigned long long>(result.payload_units));
+  if (config.wal) {
+    std::printf("wal                 : %llu bytes, %llu checkpoints\n",
+                static_cast<unsigned long long>(result.wal_bytes),
+                static_cast<unsigned long long>(result.checkpoint_count));
+  }
+  if (result.recovery_rounds > 0) {
+    std::printf("recovery            : %llu wall rounds, %llu bytes "
+                "replayed (%llu crash events)\n",
+                static_cast<unsigned long long>(result.recovery_rounds),
+                static_cast<unsigned long long>(result.replay_bytes),
+                static_cast<unsigned long long>(sim.liveness().crash_count()));
+  }
   if (result.drained) std::printf("drained             : yes\n");
 
   if (sim.pending_series() != nullptr) {

@@ -1,5 +1,7 @@
 #include "chain/account_store.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace stableshard::chain {
@@ -19,6 +21,14 @@ void AccountStore::Apply(const Action& action) {
   if (action.IsWrite()) {
     balances_[action.account] = action.Apply(current);
   }
+}
+
+std::vector<std::pair<AccountId, Balance>> AccountStore::SortedBalances()
+    const {
+  std::vector<std::pair<AccountId, Balance>> sorted(balances_.begin(),
+                                                    balances_.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
 }
 
 Balance AccountStore::TotalBalance() const {

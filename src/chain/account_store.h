@@ -6,6 +6,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "chain/ops.h"
@@ -36,6 +37,13 @@ class AccountStore {
 
   /// Sum of all materialized balances (conservation checks in tests).
   Balance TotalBalance() const;
+
+  /// Materialized balances sorted by account id — the deterministic
+  /// serialization order for checkpoints/snapshots (the map itself is
+  /// unordered; anything durable must not depend on its iteration order).
+  std::vector<std::pair<AccountId, Balance>> SortedBalances() const;
+
+  Balance default_balance() const { return default_balance_; }
 
   std::size_t materialized_accounts() const { return balances_.size(); }
 

@@ -130,6 +130,10 @@ class BackpressureScheduler final : public core::Scheduler {
     return inner_->QueueDepth(shard);
   }
   std::uint64_t SpilledTxns() const override { return spilled_now_; }
+  void OnShardLiveness(ShardId shard,
+                       durability::ShardLiveness state) override {
+    inner_->OnShardLiveness(shard, state);
+  }
   const char* name() const override { return "backpressure"; }
 
   /// Introspection (tests and the head-to-head bench).

@@ -154,11 +154,10 @@ void BdsScheduler::EndRound(Round round) {
 }
 
 void BdsScheduler::SealRound(Round round, std::uint32_t parts) {
-  (void)round;
   ownership_.BeginFlushPhase();
   outbox_.Seal();
   network_.flush_cap.Acquire();  // annotation-only, no runtime effect
-  ledger_->SealJournal(parts);
+  ledger_->SealJournal(round, parts);
 }
 
 void BdsScheduler::FlushRoundPartition(Round round, std::uint32_t part,

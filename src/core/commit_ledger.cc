@@ -7,6 +7,7 @@ namespace stableshard::core {
 CommitLedger::CommitLedger(const chain::AccountMap& map,
                            chain::Balance initial_balance)
     : map_(&map),
+      initial_balance_(initial_balance),
       last_commit_round_(map.shard_count(), kNoRound),
       journal_(map.shard_count()) {
   stores_.reserve(map.shard_count());
@@ -15,6 +16,24 @@ CommitLedger::CommitLedger(const chain::AccountMap& map,
     stores_.emplace_back(initial_balance);
     chains_.emplace_back(shard);
   }
+}
+
+void CommitLedger::AttachWal(durability::WalManager* wal) {
+  SSHARD_CHECK(wal != nullptr);
+  SSHARD_CHECK(wal->shard_count() == stores_.size() &&
+               "WAL shard count mismatch");
+  SSHARD_CHECK(wal_ == nullptr && "WAL already attached");
+  wal_ = wal;
+}
+
+void CommitLedger::ResetShardForRecovery(ShardId shard) {
+  SSHARD_CHECK(shard < stores_.size());
+  SSHARD_CHECK(journal_[shard].empty() &&
+               "crash with an undrained journal: crash points are round "
+               "boundaries");
+  stores_[shard] = chain::AccountStore(initial_balance_);
+  chains_[shard] = chain::LocalChain(shard);
+  last_commit_round_[shard] = kNoRound;
 }
 
 void CommitLedger::RegisterInjection(const txn::Transaction& txn) {
@@ -57,7 +76,13 @@ bool CommitLedger::ApplyConfirm(TxnId txn, const txn::SubTransaction& sub,
     for (const chain::Action& action : sub.actions) {
       store.Apply(action);
     }
-    chains_[sub.destination].Append(txn, round, sub.Digest());
+    const std::uint64_t digest = sub.Digest();
+    chains_[sub.destination].Append(txn, round, digest);
+    if (wal_ != nullptr) {
+      wal_->StageCommit(sub.destination, txn, round, digest, sub.actions);
+    }
+  } else if (wal_ != nullptr) {
+    wal_->StageAbort(sub.destination, txn, round);
   }
   const std::uint64_t resolved_before = resolved_;
   ResolveConfirm(txn, commit, round);
@@ -78,7 +103,15 @@ void CommitLedger::ApplyConfirmDeferred(TxnId txn,
     for (const chain::Action& action : sub.actions) {
       store.Apply(action);
     }
-    chains_[sub.destination].Append(txn, round, sub.Digest());
+    const std::uint64_t digest = sub.Digest();
+    chains_[sub.destination].Append(txn, round, digest);
+    // WAL staging is shard-owned like the store/chain writes above, so it
+    // inherits StepShard's concurrency safety for distinct destinations.
+    if (wal_ != nullptr) {
+      wal_->StageCommit(sub.destination, txn, round, digest, sub.actions);
+    }
+  } else if (wal_ != nullptr) {
+    wal_->StageAbort(sub.destination, txn, round);
   }
   journal_[sub.destination].push_back(JournalEntry{txn, commit});
 }
@@ -90,11 +123,13 @@ void CommitLedger::FlushRound(Round round) {
     }
     shard_journal.clear();
   }
+  if (wal_ != nullptr) wal_->PersistAll(round);
 }
 
-void CommitLedger::SealJournal(std::uint32_t parts) {
+void CommitLedger::SealJournal(Round round, std::uint32_t parts) {
   journal_cap.Acquire();  // annotation-only, no runtime effect
   SSHARD_CHECK(parts >= 1);
+  if (wal_ != nullptr) wal_->Seal(round, parts);
 #ifndef NDEBUG
   for (const std::vector<JournalEntry>& shard_journal : sealed_journal_) {
     SSHARD_DCHECK(shard_journal.empty() &&
@@ -116,6 +151,10 @@ void CommitLedger::SealJournal(std::uint32_t parts) {
 void CommitLedger::ResolveSealedPartition(std::uint32_t part, Round round) {
   (void)round;
   SSHARD_DCHECK(part < sealed_parts_);
+  // Persist this partition's WAL chunk first: the encode overlaps the
+  // resolution work on the same pool pass (disjoint data — the WAL
+  // partitions by destination-shard range, the resolution by txn residue).
+  if (wal_ != nullptr) wal_->PersistSealedPartition(part);
   std::vector<Completion>& out = completions_[part];
   out.clear();
   for (std::size_t dest = 0; dest < sealed_journal_.size(); ++dest) {
@@ -169,6 +208,7 @@ void CommitLedger::FinishSealedRound(Round round) {
     shard_journal.clear();
   }
   sealed_parts_ = 0;
+  if (wal_ != nullptr) wal_->FinishSealedRound();
   journal_cap.Release();  // annotation-only, no runtime effect
 }
 

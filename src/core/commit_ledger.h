@@ -48,6 +48,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/types.h"
+#include "durability/wal.h"
 #include "stats/latency_recorder.h"
 #include "txn/transaction.h"
 
@@ -65,6 +66,15 @@ class CommitLedger {
   common::PhaseCapability journal_cap;
 
   CommitLedger(const chain::AccountMap& map, chain::Balance initial_balance);
+
+  /// Attach a write-ahead log: every ApplyConfirm/ApplyConfirmDeferred
+  /// stages a durable record for its destination shard, sealed and
+  /// persisted alongside the journal (SealJournal drives wal->Seal,
+  /// ResolveSealedPartition drives the partitioned persist, the serial
+  /// FlushRound drives PersistAll). The manager must cover the same shard
+  /// count and outlive the ledger. Optional — without it the ledger
+  /// behaves exactly as before, bit for bit.
+  void AttachWal(durability::WalManager* wal);
 
   /// Register a newly injected transaction (latency clock starts; expected
   /// subtransaction count recorded).
@@ -98,8 +108,11 @@ class CommitLedger {
   /// Serial: swap the active journal with the (drained) sealed one and set
   /// up `parts` completion buffers for the partitioned resolution. The next
   /// round's ApplyConfirmDeferred calls land in fresh journals while pool
-  /// workers drain the sealed copy.
-  void SealJournal(std::uint32_t parts) SSHARD_ACQUIRE(journal_cap);
+  /// workers drain the sealed copy. `round` tags the attached WAL's sealed
+  /// window (the journal itself never needed it — the WAL's durable
+  /// callbacks do).
+  void SealJournal(Round round, std::uint32_t parts)
+      SSHARD_ACQUIRE(journal_cap);
 
   /// Parallel-safe: apply the sealed journal entries owned by `part`
   /// (txn % parts == part, walking destinations in shard order) — record
@@ -131,6 +144,25 @@ class CommitLedger {
   }
   chain::AccountStore& mutable_store(ShardId shard) { return stores_[shard]; }
   const chain::AccountMap& account_map() const { return *map_; }
+  chain::Balance initial_balance() const { return initial_balance_; }
+
+  // Recovery surface (durability/recovery.cc; serial, between rounds).
+
+  /// Unit-capacity marker for `shard` (kNoRound = no commit yet).
+  Round last_commit_round(ShardId shard) const {
+    return last_commit_round_[shard];
+  }
+  chain::LocalChain& mutable_chain(ShardId shard) { return chains_[shard]; }
+  /// Reinstate the unit-capacity marker while rebuilding a shard.
+  void RestoreLastCommitRound(ShardId shard, Round round) {
+    last_commit_round_[shard] = round;
+  }
+  /// Model a shard losing its volatile state: fresh store (initial
+  /// balances), empty chain, cleared capacity marker. Resolution records
+  /// and counters are global (coordinator-side) state and survive — the
+  /// crash model fails a shard's *storage*, not the protocol bookkeeping
+  /// the rest of the system already observed.
+  void ResetShardForRecovery(ShardId shard) SSHARD_EXCLUDES(journal_cap);
 
  private:
   struct TxnRecord {
@@ -157,6 +189,8 @@ class CommitLedger {
   void ResolveConfirm(TxnId txn, bool commit, Round round);
 
   const chain::AccountMap* map_;
+  chain::Balance initial_balance_;
+  durability::WalManager* wal_ = nullptr;  ///< optional, not owned
   std::vector<chain::AccountStore> stores_;   // one per shard
   std::vector<chain::LocalChain> chains_;     // one per shard
   std::vector<Round> last_commit_round_;      // unit-capacity enforcement

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "durability/fault_plan.h"
+
 namespace stableshard::core {
 
 std::string SimConfig::Describe() const {
@@ -16,6 +18,11 @@ std::string SimConfig::Describe() const {
   if (fds_top_roots > 1) os << " roots=" << fds_top_roots;
   if (scheduler == "backpressure") {
     os << " bp=" << backpressure_high << "/" << backpressure_low;
+  }
+  if (wal) {
+    os << " wal";
+    if (checkpoint_interval > 0) os << " ckpt=" << checkpoint_interval;
+    if (!faults.empty()) os << " faults=" << faults;
   }
   return os.str();
 }
@@ -53,6 +60,54 @@ bool ValidateFdsTopRoots(std::uint32_t fds_top_roots) {
   std::fprintf(stderr,
                "invalid fds-top-roots: need --fds-top-roots >= 1 (got %u)\n",
                fds_top_roots);
+  return false;
+}
+
+bool ValidateFaults(const std::string& faults, bool wal_enabled,
+                    ShardId shards, Round rounds) {
+  durability::FaultPlan plan;
+  std::string error;
+  if (!durability::ParseFaultPlan(faults, &plan, &error)) {
+    std::fprintf(stderr, "invalid faults: %s (spec \"%s\")\n", error.c_str(),
+                 faults.c_str());
+    return false;
+  }
+  if (plan.empty()) return true;
+  if (!wal_enabled) {
+    std::fprintf(stderr, "invalid faults: --faults requires --wal\n");
+    return false;
+  }
+  for (const durability::FaultEvent& event : plan.events) {
+    if (event.shard >= shards) {
+      std::fprintf(stderr, "invalid faults: shard %u out of range (s=%u)\n",
+                   event.shard, shards);
+      return false;
+    }
+    if (event.crash_round >= rounds) {
+      std::fprintf(stderr,
+                   "invalid faults: crash round %llu past the injection "
+                   "phase (rounds=%llu)\n",
+                   static_cast<unsigned long long>(event.crash_round),
+                   static_cast<unsigned long long>(rounds));
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidateReplayBytesPerRound(std::uint64_t replay_bytes_per_round) {
+  if (replay_bytes_per_round >= 1) return true;
+  std::fprintf(stderr,
+               "invalid replay-bytes-per-round: need "
+               "--replay-bytes-per-round >= 1 (got 0)\n");
+  return false;
+}
+
+bool ValidateCheckpointInterval(Round checkpoint_interval, bool wal_enabled) {
+  if (checkpoint_interval == 0 || wal_enabled) return true;
+  std::fprintf(stderr,
+               "invalid checkpoint-interval: --checkpoint-interval requires "
+               "--wal\n");
   return false;
 }
 

@@ -86,6 +86,29 @@ struct SimConfig {
   /// builder re-checks as an aborting invariant.
   std::uint32_t fds_top_roots = 1;
 
+  // Durability & crash recovery (src/durability/).
+  /// Attach a per-shard commit WAL behind the ledger: records are staged
+  /// during StepShard and persisted inside the round epilogue (overlapping
+  /// the pooled flush in the pipelined path). Off by default — with it on
+  /// and no faults, results stay bit-identical to wal = false (enforced by
+  /// parallel_rounds --check).
+  bool wal = false;
+  /// Protocol rounds between full-state checkpoints (0 = WAL only; the
+  /// log is never truncated, so checkpoints purely bound replay time).
+  /// Requires `wal`.
+  Round checkpoint_interval = 0;
+  /// Deterministic churn schedule, "<shard>@<round>+<down>,..." (see
+  /// durability/fault_plan.h): crash each listed shard at its round
+  /// boundary, keep it down for <down> rounds, then replay it from
+  /// checkpoint + WAL and rejoin. Requires `wal`; crash rounds must be
+  /// < `rounds` and shards in range. CLIs validate via ValidateFaults and
+  /// exit 2; the engine constructor re-checks as an aborting invariant.
+  std::string faults;
+  /// Recovery pacing: one stalled round per this many replayed WAL bytes
+  /// (plus one base round). Must be >= 1; CLIs validate via
+  /// ValidateReplayBytesPerRound and exit 2.
+  std::uint64_t replay_bytes_per_round = 4096;
+
   // Run control.
   Round rounds = 25000;
   std::uint64_t seed = 42;
@@ -150,6 +173,31 @@ bool ValidateBdsColorLeaders(std::uint32_t bds_color_leaders);
 /// re-check the condition as an aborting invariant.
 bool ValidateFdsTopRoots(std::uint32_t fds_top_roots);
 
+/// CLI-shared validation for the churn schedule: true when `faults` parses
+/// (durability::ParseFaultPlan grammar), every event targets a shard
+/// < `shards` at a crash round < `rounds`, and — when non-empty —
+/// `wal_enabled` is set (recovery without a log is not a scenario, it is
+/// data loss). Otherwise prints one "invalid faults: ..." line to stderr
+/// and returns false so the caller can exit 2 (the
+/// cli_invalid_faults_exits_2 ctest greps it). The engine constructor
+/// re-checks as an aborting invariant.
+bool ValidateFaults(const std::string& faults, bool wal_enabled,
+                    ShardId shards, Round rounds);
+
+/// CLI-shared validation for the recovery pacing divisor: true when >= 1,
+/// otherwise prints one "invalid replay-bytes-per-round: ..." line to
+/// stderr and returns false so the caller can exit 2. The engine
+/// constructor re-checks as an aborting invariant.
+bool ValidateReplayBytesPerRound(std::uint64_t replay_bytes_per_round);
+
+/// CLI-shared validation for the checkpoint cadence: true when 0 (never)
+/// or when `wal_enabled` — a checkpoint without the log it bounds replay
+/// for is meaningless. Otherwise prints one "invalid
+/// checkpoint-interval: ..." line to stderr and returns false so the
+/// caller can exit 2. The engine constructor re-checks as an aborting
+/// invariant.
+bool ValidateCheckpointInterval(Round checkpoint_interval, bool wal_enabled);
+
 /// Aggregated outcome of one simulation run.
 struct SimResult {
   // Figure metrics.
@@ -183,6 +231,18 @@ struct SimResult {
   // Cost.
   std::uint64_t messages = 0;
   std::uint64_t payload_units = 0;
+
+  // Durability & recovery (all 0 unless SimConfig::wal). Part of the
+  // bit-identity contract like every other field: same config ⇒ same WAL
+  // bytes, same checkpoint count, same recovery schedule, whatever
+  // worker_threads or the pipeline switch.
+  std::uint64_t wal_bytes = 0;        ///< total WAL bytes persisted
+  std::uint64_t checkpoint_count = 0;
+  std::uint64_t replay_bytes = 0;     ///< WAL bytes replayed by recoveries
+  /// Rounds the protocol clock was stalled by crash outages + replay +
+  /// catch-up; rounds_executed includes them (a faulted run reports
+  /// exactly the fault-free rounds_executed plus this).
+  Round recovery_rounds = 0;
 
   // Run facts.
   Round rounds_executed = 0;

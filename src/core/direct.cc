@@ -63,11 +63,10 @@ void DirectScheduler::EndRound(Round round) {
 }
 
 void DirectScheduler::SealRound(Round round, std::uint32_t parts) {
-  (void)round;
   ownership_.BeginFlushPhase();
   outbox_.Seal();
   network_.flush_cap.Acquire();  // annotation-only, no runtime effect
-  ledger_->SealJournal(parts);
+  ledger_->SealJournal(round, parts);
 }
 
 void DirectScheduler::FlushRoundPartition(Round round, std::uint32_t part,

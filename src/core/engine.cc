@@ -6,6 +6,7 @@
 #include "adversary/strategy_registry.h"
 #include "common/check.h"
 #include "core/scheduler_registry.h"
+#include "durability/recovery.h"
 
 namespace stableshard::core {
 
@@ -33,6 +34,20 @@ Simulation::Simulation(const SimConfig& config)
   SSHARD_CHECK(config.min_shards_per_worker >= 1);
   SSHARD_CHECK(config.bds_color_leaders >= 1);
   SSHARD_CHECK(config.fds_top_roots >= 1);
+  SSHARD_CHECK(config.replay_bytes_per_round >= 1);
+  SSHARD_CHECK(config.checkpoint_interval == 0 || config.wal);
+  std::string fault_error;
+  SSHARD_CHECK(
+      durability::ParseFaultPlan(config.faults, &fault_plan_, &fault_error) &&
+      "unparseable SimConfig::faults spec");
+  if (!fault_plan_.empty()) {
+    SSHARD_CHECK(config.wal && "faults require the WAL");
+    for (const durability::FaultEvent& event : fault_plan_.events) {
+      SSHARD_CHECK(event.shard < config.shards && "fault shard out of range");
+      SSHARD_CHECK(event.crash_round < config.rounds &&
+                   "fault crash round past the injection phase");
+    }
+  }
 
   metric_ = net::MakeMetric(config.topology, config.shards, &rng_);
 
@@ -49,6 +64,13 @@ Simulation::Simulation(const SimConfig& config)
 
   ledger_ = std::make_unique<CommitLedger>(*accounts_,
                                            config.initial_balance);
+  liveness_ = std::make_unique<durability::LivenessTracker>(config.shards);
+  if (config.wal) {
+    storage_ = std::make_unique<durability::MemoryStorage>(config.shards);
+    wal_ = std::make_unique<durability::WalManager>(config.shards,
+                                                    storage_.get());
+    ledger_->AttachWal(wal_.get());
+  }
 
   adversary::AdversaryConfig adversary_config;
   adversary_config.rho = config.rho;
@@ -189,8 +211,29 @@ SimResult Simulation::Run() {
     phase_times_.sample += SecondsSince(start);
   };
 
+  // Wall-clock round counter: protocol rounds plus fault stalls. Every
+  // sample lands on a distinct wall round, and rounds_executed reports the
+  // wall count — a faulted run executes exactly the fault-free protocol
+  // trajectory, recovery_rounds wall rounds later.
+  Round wall = 0;
+  // One stalled wall round: the protocol clock (scheduler, adversary,
+  // injection) is frozen; metrics still sample so outages are visible in
+  // the per-round series and averages.
+  const auto stall_round = [&]() {
+    sample_round_metrics(wall);
+    ++wall;
+    ++recovery_rounds_;
+  };
+
   const auto run_start = Clock::now();
   for (Round round = 0; round < config_.rounds; ++round) {
+    // Fault plan: crashes land on round boundaries (the synchronous model
+    // has no mid-round crash point — a round either completed everywhere
+    // or never happened), before this round's generation/injection.
+    while (next_fault_ < fault_plan_.events.size() &&
+           fault_plan_.events[next_fault_].crash_round == round) {
+      ExecuteFault(fault_plan_.events[next_fault_++], stall_round);
+    }
     // The pipelined epilogue of round - 1 usually pre-generated this
     // round's transactions (overlapped with its flush); fall back to
     // generating here on the serial path and for round 0. Injection stays
@@ -205,7 +248,10 @@ SimResult Simulation::Run() {
     txn_buffer_.clear();
     phase_times_.inject += SecondsSince(inject_start);
     StepRound(round, round + 1 < config_.rounds ? round + 1 : kNoRound);
-    sample_round_metrics(round);
+    sample_round_metrics(wall);
+    ++wall;
+    ++protocol_rounds_done_;
+    MaybeCheckpoint(round);
   }
 
   Round round = config_.rounds;
@@ -218,7 +264,10 @@ SimResult Simulation::Run() {
         break;
       }
       StepRound(round, kNoRound);
-      sample_round_metrics(round);
+      sample_round_metrics(wall);
+      ++wall;
+      ++protocol_rounds_done_;
+      MaybeCheckpoint(round);
       ++round;
     }
     if (!drained) drained = scheduler_->Idle();
@@ -245,9 +294,71 @@ SimResult Simulation::Run() {
   result.max_pending = max_pending;
   result.messages = scheduler_->MessagesSent();
   result.payload_units = scheduler_->PayloadUnits();
-  result.rounds_executed = round;
+  result.rounds_executed = wall;
   result.drained = drained;
+  result.wal_bytes = storage_ ? storage_->wal_bytes() : 0;
+  result.checkpoint_count = checkpoint_count_;
+  result.replay_bytes = replay_bytes_;
+  result.recovery_rounds = recovery_rounds_;
   return result;
+}
+
+void Simulation::MaybeCheckpoint(Round round) {
+  if (!wal_ || config_.checkpoint_interval == 0) return;
+  if (protocol_rounds_done_ % config_.checkpoint_interval != 0) return;
+  durability::WriteCheckpoint(*ledger_, *wal_, *storage_, round);
+  ++checkpoint_count_;
+}
+
+void Simulation::ExecuteFault(const durability::FaultEvent& event,
+                              const std::function<void()>& stall_round) {
+  const ShardId shard = event.shard;
+
+  // Pre-crash oracle: the recovered slice must reproduce these bytes
+  // exactly (canonical encoding — byte equality is state bit-identity).
+  durability::Blob before;
+  durability::AppendShardImage(
+      before,
+      durability::CaptureShardImage(*ledger_, shard,
+                                    wal_->durable_seq(shard)));
+
+  // Crash: the shard loses its volatile ledger slice. The whole protocol
+  // clock freezes for the outage — BDS/FDS are full-participation
+  // synchronous protocols, so the lock-step world cannot make progress
+  // while a member is dark (see docs/ARCHITECTURE.md on the fault model).
+  liveness_->Crash(shard);
+  scheduler_->OnShardLiveness(shard, durability::ShardLiveness::kCrashed);
+  ledger_->ResetShardForRecovery(shard);
+  for (Round i = 0; i < event.down_rounds; ++i) stall_round();
+
+  // Recovery: replay checkpoint + WAL suffix, paced by replayed volume.
+  liveness_->BeginRecovery(shard);
+  scheduler_->OnShardLiveness(shard, durability::ShardLiveness::kRecovering);
+  const durability::RecoveryStats stats =
+      durability::RecoverShard(*ledger_, shard, *storage_);
+  replay_bytes_ += stats.replayed_bytes;
+  durability::Blob after;
+  durability::AppendShardImage(
+      after,
+      durability::CaptureShardImage(*ledger_, shard,
+                                    wal_->durable_seq(shard)));
+  SSHARD_CHECK(after == before &&
+               "recovered shard state is not bit-identical to the "
+               "pre-crash snapshot");
+  const Round replay_rounds =
+      1 + static_cast<Round>(stats.replayed_bytes /
+                             config_.replay_bytes_per_round);
+  for (Round i = 0; i < replay_rounds; ++i) stall_round();
+
+  // Catch-up: one round re-verifying the restored chain before rejoining.
+  liveness_->BeginCatchUp(shard);
+  scheduler_->OnShardLiveness(shard, durability::ShardLiveness::kCatchUp);
+  SSHARD_CHECK(ledger_->chains()[shard].Verify() &&
+               "recovered chain fails hash verification");
+  stall_round();
+
+  liveness_->Rejoin(shard);
+  scheduler_->OnShardLiveness(shard, durability::ShardLiveness::kOnline);
 }
 
 }  // namespace stableshard::core

@@ -33,6 +33,7 @@
 // hierarchy is built lazily, only when a scheduler's builder asks for it.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -45,6 +46,9 @@
 #include "core/commit_ledger.h"
 #include "core/config.h"
 #include "core/scheduler.h"
+#include "durability/fault_plan.h"
+#include "durability/liveness.h"
+#include "durability/wal.h"
 #include "net/metric.h"
 #include "stats/running_stats.h"
 #include "stats/time_series.h"
@@ -87,6 +91,11 @@ class Simulation {
   Scheduler& scheduler() { return *scheduler_; }
   const adversary::Adversary& adversary() const { return *adversary_; }
   const cluster::Hierarchy* hierarchy() const { return hierarchy_.get(); }
+  const durability::LivenessTracker& liveness() const { return *liveness_; }
+  /// Durable medium behind the WAL (nullptr unless SimConfig::wal).
+  const durability::MemoryStorage* wal_storage() const {
+    return storage_.get();
+  }
 
   /// Per-round pending-count time series (window-averaged), populated by
   /// Run() when `record_series` is enabled.
@@ -115,6 +124,16 @@ class Simulation {
   /// One full round; when `generate_round` != kNoRound and the pipelined
   /// epilogue is active, that round's generation overlaps the flush.
   void StepRound(Round round, Round generate_round);
+  /// Execute one fault event (crash → outage → replay → catch-up →
+  /// rejoin). The protocol clock is frozen throughout: `stall_round`
+  /// advances the wall clock by one sampled round without touching the
+  /// scheduler/adversary, so the protocol trajectory — and every commit —
+  /// is bit-identical to the fault-free run, just shifted in wall rounds.
+  void ExecuteFault(const durability::FaultEvent& event,
+                    const std::function<void()>& stall_round);
+  /// Checkpoint cadence: after every checkpoint_interval-th protocol
+  /// round (drain rounds included) capture all shards into a new blob.
+  void MaybeCheckpoint(Round round);
 
   SimConfig config_;
   Rng rng_;
@@ -126,6 +145,15 @@ class Simulation {
   std::unique_ptr<adversary::Adversary> adversary_;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<ThreadPool> pool_;  ///< persistent; worker_threads > 1
+  std::unique_ptr<durability::MemoryStorage> storage_;  ///< wal only
+  std::unique_ptr<durability::WalManager> wal_;         ///< wal only
+  std::unique_ptr<durability::LivenessTracker> liveness_;
+  durability::FaultPlan fault_plan_;
+  std::size_t next_fault_ = 0;
+  Round protocol_rounds_done_ = 0;
+  Round recovery_rounds_ = 0;
+  std::uint64_t replay_bytes_ = 0;
+  std::uint64_t checkpoint_count_ = 0;
   Round series_window_ = 0;
   std::unique_ptr<stats::TimeSeries> pending_series_;
   /// Reusable injection buffer: holds `generated_round_`'s transactions

@@ -167,11 +167,10 @@ void FdsScheduler::EndRound(Round round) {
 }
 
 void FdsScheduler::SealRound(Round round, std::uint32_t parts) {
-  (void)round;
   ownership_.BeginFlushPhase();
   outbox_.Seal();
   network_.flush_cap.Acquire();  // annotation-only, no runtime effect
-  ledger_->SealJournal(parts);
+  ledger_->SealJournal(round, parts);
 }
 
 void FdsScheduler::FlushRoundPartition(Round round, std::uint32_t part,

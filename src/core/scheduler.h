@@ -62,6 +62,7 @@
 
 #include "common/arena.h"
 #include "common/types.h"
+#include "durability/liveness.h"
 #include "net/network.h"
 #include "net/outbox.h"
 #include "txn/transaction.h"
@@ -209,6 +210,19 @@ class Scheduler {
   /// SimResult::spill_peak; the accounting identity counts spilled
   /// transactions as pending.
   virtual std::uint64_t SpilledTxns() const { return 0; }
+
+  /// Engine notification of a shard liveness transition under the fault
+  /// plan (crash, recovery start, catch-up, rejoin — see
+  /// durability/liveness.h). Serial, between rounds, and the engine never
+  /// runs protocol rounds while any shard is off-line (the stall-the-world
+  /// fault model), so phase logic needs no liveness branches; wrappers may
+  /// observe transitions (e.g. to reset congestion signals for a rejoining
+  /// shard). Default: ignore. Wrapping schedulers must forward.
+  virtual void OnShardLiveness(ShardId shard,
+                               durability::ShardLiveness state) {
+    (void)shard;
+    (void)state;
+  }
 
   virtual const char* name() const = 0;
 };

@@ -1,0 +1,77 @@
+// Checkpoint blobs: periodic full-state images that bound replay time.
+//
+// A checkpoint is one blob per cadence tick covering every shard:
+//
+//   header:  u64 magic, u64 round, u32 shard_count
+//   then shard_count framed sections, in shard order:
+//     u32 payload_size, u64 fnv1a(payload), payload:
+//       u32 shard, u64 wal_seq (WAL records with seq <= wal_seq are
+//       reflected in this image), u64 last_commit_round, i64
+//       default_balance, u32 n_balances x { u64 account, i64 balance }
+//       (ascending account id — the deterministic serialization of the
+//       unordered store), u32 n_blocks x { u64 txn, u64 commit_round,
+//       u64 payload_digest } (chain bodies only: block hashes are
+//       recomputed by replaying Append, which is also what makes the
+//       restored chain bit-identical by construction).
+//
+// Sections are independently framed so a torn checkpoint write degrades
+// per shard: a shard whose section is truncated or corrupt simply falls
+// back to the previous checkpoint or, ultimately, to a full WAL replay
+// from genesis — the WAL is never truncated, so every checkpoint is a
+// pure replay-time optimization, not a durability dependency.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "chain/ops.h"
+#include "common/types.h"
+#include "durability/encoding.h"
+
+namespace stableshard::durability {
+
+inline constexpr std::uint64_t kCheckpointMagic = 0x53534844'434b5031ULL;
+
+/// One shard's full durable state, in canonical (sorted, fixed-width)
+/// form. Two images encode byte-identically iff the shard states are
+/// bit-identical — the crash/recovery golden tests compare encoded images.
+struct ShardImage {
+  struct BlockBody {
+    TxnId txn = 0;
+    Round commit_round = 0;
+    std::uint64_t payload_digest = 0;
+  };
+
+  ShardId shard = 0;
+  std::uint64_t wal_seq = 0;
+  Round last_commit_round = kNoRound;
+  chain::Balance default_balance = 0;
+  std::vector<std::pair<AccountId, chain::Balance>> balances;  // sorted
+  std::vector<BlockBody> blocks;
+};
+
+/// Append `image` as one framed section.
+void AppendShardImage(Blob& out, const ShardImage& image);
+
+/// Encode a full checkpoint blob for `round`. `images` must be in shard
+/// order (images[i].shard == i).
+Blob EncodeCheckpoint(Round round, const std::vector<ShardImage>& images);
+
+enum class SectionStatus {
+  kOk,         ///< section decoded and checksum-verified
+  kTruncated,  ///< blob ends before this shard's section completes
+  kCorrupt,    ///< bad magic, or the section's checksum/decode fails
+};
+
+/// Decode shard `shard`'s section out of a checkpoint blob. Returns
+/// kTruncated/kCorrupt instead of aborting: damaged checkpoints are an
+/// expected input (recovery falls back to older checkpoints / the WAL).
+SectionStatus DecodeCheckpointShard(const Blob& blob, ShardId shard,
+                                    ShardImage* out);
+
+/// The round a checkpoint blob covers (header only; kNoRound if the blob
+/// is too short or mis-tagged).
+Round CheckpointRound(const Blob& blob);
+
+}  // namespace stableshard::durability

@@ -1,0 +1,75 @@
+#include "durability/fault_plan.h"
+
+#include <cstdint>
+
+namespace stableshard::durability {
+
+namespace {
+
+/// Parse a decimal u64 starting at `pos`; advances `pos` past the digits.
+bool ParseNumber(const std::string& spec, std::size_t* pos,
+                 std::uint64_t* out) {
+  const std::size_t start = *pos;
+  std::uint64_t value = 0;
+  while (*pos < spec.size() && spec[*pos] >= '0' && spec[*pos] <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(spec[*pos] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+    ++*pos;
+  }
+  if (*pos == start) return false;  // no digits
+  *out = value;
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+}  // namespace
+
+bool ParseFaultPlan(const std::string& spec, FaultPlan* plan,
+                    std::string* error) {
+  plan->events.clear();
+  if (spec.empty()) return true;
+  std::size_t pos = 0;
+  while (true) {
+    std::uint64_t shard = 0;
+    std::uint64_t round = 0;
+    std::uint64_t down = 0;
+    if (!ParseNumber(spec, &pos, &shard)) {
+      return Fail(error, "expected <shard> number");
+    }
+    if (pos >= spec.size() || spec[pos] != '@') {
+      return Fail(error, "expected '@' after shard");
+    }
+    ++pos;
+    if (!ParseNumber(spec, &pos, &round)) {
+      return Fail(error, "expected <round> number after '@'");
+    }
+    if (pos >= spec.size() || spec[pos] != '+') {
+      return Fail(error, "expected '+' after round");
+    }
+    ++pos;
+    if (!ParseNumber(spec, &pos, &down)) {
+      return Fail(error, "expected <down> number after '+'");
+    }
+    if (down < 1) return Fail(error, "down rounds must be >= 1");
+    if (!plan->events.empty() &&
+        round <= plan->events.back().crash_round) {
+      return Fail(error, "crash rounds must be strictly increasing");
+    }
+    FaultEvent event;
+    event.shard = static_cast<ShardId>(shard);
+    if (event.shard != shard) return Fail(error, "shard out of range");
+    event.crash_round = round;
+    event.down_rounds = down;
+    plan->events.push_back(event);
+    if (pos == spec.size()) return true;
+    if (spec[pos] != ',') return Fail(error, "expected ',' between events");
+    ++pos;
+  }
+}
+
+}  // namespace stableshard::durability

@@ -1,0 +1,43 @@
+// Deterministic churn schedule: which shard crashes when, and how long it
+// stays down before recovery starts.
+//
+// Text form (SimConfig::faults, the --faults CLI flag):
+//
+//   "<shard>@<round>+<down>[,<shard>@<round>+<down>...]"
+//
+// e.g. "5@50+12,23@110+20" — shard 5 crashes at the round-50 boundary and
+// stays down for 12 rounds before replay begins; shard 23 likewise at
+// round 110. Crash rounds must be strictly increasing (one well-defined
+// event cursor; overlapping outages are a future extension) and `down`
+// must be >= 1. The plan is part of the configuration, so a faulted run is
+// exactly as replayable as a fault-free one — same spec, same seed, same
+// bits out.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace stableshard::durability {
+
+struct FaultEvent {
+  ShardId shard = 0;
+  Round crash_round = 0;  ///< crash at this round's boundary, before it runs
+  Round down_rounds = 1;  ///< full-outage rounds before recovery begins
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  ///< strictly increasing crash_round
+
+  bool empty() const { return events.empty(); }
+  std::size_t size() const { return events.size(); }
+};
+
+/// Parse `spec` (empty = no faults). On failure returns false and, when
+/// `error` is non-null, stores a one-line reason.
+bool ParseFaultPlan(const std::string& spec, FaultPlan* plan,
+                    std::string* error);
+
+}  // namespace stableshard::durability

@@ -1,0 +1,52 @@
+#include "durability/liveness.h"
+
+#include "common/check.h"
+
+namespace stableshard::durability {
+
+const char* ToString(ShardLiveness state) {
+  switch (state) {
+    case ShardLiveness::kOnline:
+      return "online";
+    case ShardLiveness::kCrashed:
+      return "crashed";
+    case ShardLiveness::kRecovering:
+      return "recovering";
+    case ShardLiveness::kCatchUp:
+      return "catch-up";
+  }
+  return "?";
+}
+
+void LivenessTracker::Transition(ShardId shard, ShardLiveness from,
+                                 ShardLiveness to) {
+  SSHARD_CHECK(shard < states_.size());
+  SSHARD_CHECK(states_[shard] == from && "illegal liveness transition");
+  states_[shard] = to;
+}
+
+void LivenessTracker::Crash(ShardId shard) {
+  Transition(shard, ShardLiveness::kOnline, ShardLiveness::kCrashed);
+  --online_;
+  ++crashes_;
+}
+
+void LivenessTracker::BeginRecovery(ShardId shard) {
+  Transition(shard, ShardLiveness::kCrashed, ShardLiveness::kRecovering);
+}
+
+void LivenessTracker::BeginCatchUp(ShardId shard) {
+  Transition(shard, ShardLiveness::kRecovering, ShardLiveness::kCatchUp);
+}
+
+void LivenessTracker::Rejoin(ShardId shard) {
+  SSHARD_CHECK(shard < states_.size());
+  const ShardLiveness state = states_[shard];
+  SSHARD_CHECK((state == ShardLiveness::kRecovering ||
+                state == ShardLiveness::kCatchUp) &&
+               "illegal liveness transition");
+  states_[shard] = ShardLiveness::kOnline;
+  ++online_;
+}
+
+}  // namespace stableshard::durability

@@ -1,0 +1,55 @@
+// Per-shard liveness state machine (the mmts-longrange node-status shape).
+//
+// Legal transitions, enforced with aborting checks (a liveness bug would
+// silently void every recovery invariant downstream):
+//
+//   kOnline --Crash--> kCrashed --BeginRecovery--> kRecovering
+//           --BeginCatchUp--> kCatchUp --Rejoin--> kOnline
+//
+// (Rejoin is also legal straight from kRecovering for recoveries with no
+// catch-up phase.) The engine drives transitions serially between rounds
+// and notifies the scheduler via Scheduler::OnShardLiveness; the protocol
+// itself never runs while any shard is off-line — see the fault-model
+// discussion in docs/ARCHITECTURE.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace stableshard::durability {
+
+enum class ShardLiveness : std::uint8_t {
+  kOnline = 0,
+  kCrashed = 1,
+  kRecovering = 2,  ///< replaying checkpoint + WAL
+  kCatchUp = 3,     ///< replay done, re-verifying before rejoining
+};
+
+const char* ToString(ShardLiveness state);
+
+class LivenessTracker {
+ public:
+  explicit LivenessTracker(ShardId shards)
+      : states_(shards, ShardLiveness::kOnline), online_(shards) {}
+
+  ShardLiveness state(ShardId shard) const { return states_[shard]; }
+  bool AllOnline() const { return online_ == states_.size(); }
+  ShardId online_count() const { return static_cast<ShardId>(online_); }
+  std::uint64_t crash_count() const { return crashes_; }
+
+  void Crash(ShardId shard);
+  void BeginRecovery(ShardId shard);
+  void BeginCatchUp(ShardId shard);
+  void Rejoin(ShardId shard);
+
+ private:
+  void Transition(ShardId shard, ShardLiveness from, ShardLiveness to);
+
+  std::vector<ShardLiveness> states_;
+  std::size_t online_ = 0;
+  std::uint64_t crashes_ = 0;
+};
+
+}  // namespace stableshard::durability

@@ -1,0 +1,61 @@
+// Crash recovery: restore one shard's ledger slice (account store, local
+// chain, unit-capacity round marker) to bit-identical equality with its
+// pre-crash state, from the latest usable checkpoint section plus the WAL
+// suffix.
+//
+// Determinism argument: the WAL records commits in the exact order the
+// shard applied them (per-shard staging lanes preserve StepShard order,
+// which the ownership discipline makes deterministic), the checkpoint
+// serializes the unordered store in sorted-account order, and chain blocks
+// are restored by replaying LocalChain::Append — which recomputes every
+// hash from the same (txn, round, digest) inputs. No step consults wall
+// clocks, iteration order of unordered containers, or pointer values
+// (tools/lint_determinism.py's durability rule pack enforces the same at
+// the source level), so replay of the same bytes always reconstructs the
+// same bits.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
+
+namespace stableshard::core {
+class CommitLedger;
+}  // namespace stableshard::core
+
+namespace stableshard::durability {
+
+struct RecoveryStats {
+  bool used_checkpoint = false;
+  std::uint64_t replayed_records = 0;
+  std::uint64_t replayed_bytes = 0;  ///< WAL bytes applied after the image
+};
+
+/// Snapshot shard `shard`'s ledger slice. `wal_seq` tags the image with
+/// the WAL horizon it reflects (callers pass the shard's durable seq).
+ShardImage CaptureShardImage(const core::CommitLedger& ledger, ShardId shard,
+                             std::uint64_t wal_seq);
+
+/// Overwrite shard `shard`'s ledger slice with `image` (store rebuilt from
+/// the sorted balances, chain rebuilt by replaying Append).
+void InstallShardImage(core::CommitLedger& ledger, const ShardImage& image);
+
+/// Restore shard `shard` from `storage`: wipe the slice, install the
+/// newest checkpoint section that decodes cleanly (walking the checkpoint
+/// history backwards; a damaged section only costs replay time), then
+/// replay the WAL suffix. A torn WAL tail stops the replay at the last
+/// complete record — by the synchronous-round crash model that is always
+/// the full committed prefix. A checksum failure on a *complete* WAL
+/// record is unrecoverable corruption and aborts the process.
+RecoveryStats RecoverShard(core::CommitLedger& ledger, ShardId shard,
+                           const MemoryStorage& storage);
+
+/// Capture every shard at `round` and append the encoded checkpoint blob
+/// to `storage.checkpoints`. Returns the blob size in bytes.
+std::uint64_t WriteCheckpoint(const core::CommitLedger& ledger,
+                              const WalManager& wal, MemoryStorage& storage,
+                              Round round);
+
+}  // namespace stableshard::durability

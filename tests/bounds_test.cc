@@ -66,10 +66,18 @@ INSTANTIATE_TEST_SUITE_P(
                       BoundsCase{36, 6, 15, 0.5, 6},
                       BoundsCase{4, 2, 8, 1.0, 7}),
     [](const ::testing::TestParamInfo<BoundsCase>& info) {
+      // Built by append: gcc 12's -O3 -Wrestrict misfires on chained
+      // `const char* + std::string&&` concatenation (GCC PR105329).
       const auto& p = info.param;
-      return "s" + std::to_string(p.shards) + "_k" + std::to_string(p.k) +
-             "_b" + std::to_string(static_cast<int>(p.burstiness)) + "_seed" +
-             std::to_string(p.seed);
+      std::string name = "s";
+      name += std::to_string(p.shards);
+      name += "_k";
+      name += std::to_string(p.k);
+      name += "_b";
+      name += std::to_string(static_cast<int>(p.burstiness));
+      name += "_seed";
+      name += std::to_string(p.seed);
+      return name;
     });
 
 TEST(Bounds, HigherBurstinessRaisesQueuesNotInstability) {

@@ -119,7 +119,7 @@ TEST_F(CommitLedgerTest, SealedJournalMatchesSerialFlush) {
   }
 
   serial.FlushRound(4);
-  pipelined.SealJournal(/*parts=*/3);
+  pipelined.SealJournal(/*round=*/4, /*parts=*/3);
   pipelined.ResolveSealedPartition(2, 4);
   pipelined.ResolveSealedPartition(0, 4);
   pipelined.ResolveSealedPartition(1, 4);
@@ -130,7 +130,7 @@ TEST_F(CommitLedgerTest, SealedJournalMatchesSerialFlush) {
     ledger->ApplyConfirmDeferred(c.id(), c.subs()[0], /*commit=*/false, 5);
   }
   serial.FlushRound(5);
-  pipelined.SealJournal(/*parts=*/2);
+  pipelined.SealJournal(/*round=*/5, /*parts=*/2);
   pipelined.ResolveSealedPartition(1, 5);
   pipelined.ResolveSealedPartition(0, 5);
   pipelined.FinishSealedRound(5);
@@ -154,7 +154,7 @@ TEST_F(CommitLedgerTest, SealedJournalSupportsMorePartitionsThanEntries) {
   const auto txn = factory_.MakeTouch(0, 0, {0});
   ledger_.RegisterInjection(txn);
   ledger_.ApplyConfirmDeferred(txn.id(), txn.subs()[0], /*commit=*/true, 1);
-  ledger_.SealJournal(/*parts=*/8);
+  ledger_.SealJournal(/*round=*/1, /*parts=*/8);
   for (std::uint32_t part = 0; part < 8; ++part) {
     ledger_.ResolveSealedPartition(part, 1);
   }

@@ -48,11 +48,12 @@ inline core::SimResult RunWithWorkers(core::SimConfig config,
   return sim.Run();
 }
 
-/// Every SimResult field equal; doubles bit-for-bit — the parallel path
-/// performs the exact same arithmetic in the exact same order, so
-/// worker_threads must never perturb a single bit of the outcome.
-inline void ExpectBitIdenticalResults(const core::SimResult& a,
-                                      const core::SimResult& b) {
+/// Protocol-outcome fields equal; doubles bit-for-bit. This is the subset
+/// a WAL-enabled fault-free run must share with a WAL-off run (the WAL is
+/// write-only until a crash, so only the durability counters may differ);
+/// same-config comparisons use ExpectBitIdenticalResults below.
+inline void ExpectBitIdenticalProtocol(const core::SimResult& a,
+                                       const core::SimResult& b) {
   EXPECT_EQ(a.injected, b.injected);
   EXPECT_EQ(a.committed, b.committed);
   EXPECT_EQ(a.aborted, b.aborted);
@@ -71,6 +72,20 @@ inline void ExpectBitIdenticalResults(const core::SimResult& a,
   EXPECT_DOUBLE_EQ(a.max_latency, b.max_latency);
   EXPECT_DOUBLE_EQ(a.p50_latency, b.p50_latency);
   EXPECT_DOUBLE_EQ(a.p99_latency, b.p99_latency);
+}
+
+/// Every SimResult field equal; doubles bit-for-bit — the parallel path
+/// performs the exact same arithmetic in the exact same order, so
+/// worker_threads must never perturb a single bit of the outcome. The
+/// durability counters are part of the contract: the WAL persists and the
+/// fault plan replays identically whatever the worker count.
+inline void ExpectBitIdenticalResults(const core::SimResult& a,
+                                      const core::SimResult& b) {
+  ExpectBitIdenticalProtocol(a, b);
+  EXPECT_EQ(a.wal_bytes, b.wal_bytes);
+  EXPECT_EQ(a.checkpoint_count, b.checkpoint_count);
+  EXPECT_EQ(a.replay_bytes, b.replay_bytes);
+  EXPECT_EQ(a.recovery_rounds, b.recovery_rounds);
 }
 
 /// Invariants every scheduler must satisfy after a drained run:

@@ -26,9 +26,23 @@ wall-clock time. This lint catches those patterns statically:
                        Timing telemetry is legitimate but must be
                        annotated so a reviewer confirms no simulation
                        decision reads it.
-  pointer-key          std::map / std::set keyed on a pointer type:
-                       ordered iteration over addresses is allocation-
-                       order-dependent, which varies run to run.
+  pointer-key          std::map / std::set — ordered or unordered — keyed
+                       on a pointer type: iteration over (or hashing of)
+                       addresses is allocation-order-dependent, which
+                       varies run to run. Recovery maps rebuilt during
+                       WAL replay are the classic offender.
+  time-type            C time types and formatters (time_t, timeval,
+                       timespec, localtime, gmtime, strftime, asctime,
+                       mktime). A wall-clock timestamp inside a WAL
+                       record or checkpoint makes two runs of the same
+                       simulation produce different durable bytes, which
+                       breaks the replay bit-identity contract.
+  dir-iteration        directory enumeration (std::filesystem::
+                       directory_iterator / recursive_directory_iterator,
+                       readdir, scandir, opendir). Directory order is
+                       filesystem-defined; replay / checkpoint discovery
+                       must use explicit ordered indexes, never "whatever
+                       the directory lists first".
 
 Escapes: a finding is suppressed by
     // lint:allow(<rule>): <reason>
@@ -45,7 +59,8 @@ import os
 import re
 import sys
 
-RULES = ("unordered-iteration", "raw-rand", "wall-clock", "pointer-key")
+RULES = ("unordered-iteration", "raw-rand", "wall-clock", "pointer-key",
+         "time-type", "dir-iteration")
 
 SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 
@@ -69,7 +84,16 @@ WALL_CLOCK = re.compile(
     r"\bsystem_clock\b|\bhigh_resolution_clock\b|\bsteady_clock\b"
     r"|\bgettimeofday\b|\bclock_gettime\b|[^\w.]time\s*\(\s*(?:NULL|nullptr|0)?\s*\)")
 POINTER_KEY = re.compile(
-    r"\bstd::(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?[\w:]+\s*\*")
+    r"\bstd::(?:unordered_)?(?:map|set|multimap|multiset)"
+    r"\s*<\s*(?:const\s+)?[\w:]+\s*\*")
+# `time_point` is fine (steady_clock durations are covered by wall-clock);
+# the C time types and formatters below embed host wall time by design.
+TIME_TYPE = re.compile(
+    r"\btime_t\b|\btimeval\b|\btimespec\b|\blocaltime(?:_r)?\b"
+    r"|\bgmtime(?:_r)?\b|\bstrftime\b|\basctime(?:_r)?\b|\bmktime\b")
+DIR_ITERATION = re.compile(
+    r"\brecursive_directory_iterator\b|\bdirectory_iterator\b"
+    r"|\breaddir(?:_r)?\b|\bscandir\b|\bopendir\b")
 
 
 def strip_strings(line):
@@ -295,8 +319,23 @@ def scan(paths):
                 if not file.allowed(number, "pointer-key"):
                     findings.append(
                         (file.path, number, "pointer-key",
-                         "ordered container keyed by pointer — address "
-                         "order varies run to run"))
+                         "container keyed by pointer — address order "
+                         "varies run to run (recovery maps must key on "
+                         "stable ids)"))
+            if TIME_TYPE.search(code):
+                if not file.allowed(number, "time-type"):
+                    findings.append(
+                        (file.path, number, "time-type",
+                         "C wall-time type/formatter — a host timestamp "
+                         "in a WAL record or checkpoint breaks replay "
+                         "bit-identity"))
+            if DIR_ITERATION.search(code):
+                if not file.allowed(number, "dir-iteration"):
+                    findings.append(
+                        (file.path, number, "dir-iteration",
+                         "directory enumeration — listing order is "
+                         "filesystem-defined; replay discovery must use "
+                         "an explicit ordered index"))
         for number, message in file.bare_allows:
             findings.append((file.path, number, "bare-allow", message))
 

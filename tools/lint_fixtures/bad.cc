@@ -46,6 +46,29 @@ bool Expired() {
 // pointer-key: ordered iteration over addresses.
 std::map<const Txn*, int> priorities;
 
+// pointer-key (unordered variant): a recovery map rebuilt during replay,
+// keyed on object addresses instead of stable ids.
+std::unordered_map<Txn*, std::uint64_t> recovery_index;
+
+// time-type: a host timestamp embedded in a durable record.
+struct WalHeader {
+  time_t written_at;  // two runs of the same sim produce different bytes
+};
+std::uint64_t StampRecord() {
+  struct timespec ts {};
+  return static_cast<std::uint64_t>(mktime(nullptr)) + ts.tv_sec;
+}
+
+// dir-iteration: replay discovery in filesystem listing order.
+int CountSegments(const char* dir_path) {
+  int segments = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_path)) {
+    (void)entry;
+    ++segments;
+  }
+  return segments;
+}
+
 // bare-allow: an escape without a reason is itself a finding.
 // lint:allow(wall-clock)
 std::uint64_t Stamp() { return 42; }
