@@ -15,6 +15,7 @@
 #include "common/flags.h"
 #include "core/engine.h"
 #include "core/scheduler_registry.h"
+#include "traffic/trace.h"
 
 namespace {
 
@@ -62,6 +63,17 @@ constexpr const char* kUsage = R"(simulate_cli — StableShard simulation runner
                signal falls back to this (default 16; must be
                <= --bp-high)
   --burst-round  round at which the b-sized burst fires (default 0)
+  --arrival-rate  open-loop injection: transactions arriving per wall round,
+               independent of commit progress (default 0 = the closed-loop
+               adversary; the registered --strategy still shapes every
+               transaction, the arrival schedule only times them)
+  --burst      open-loop burst cap: token-bucket depth released greedily
+               from --burst-round on (default 1; needs --arrival-rate > 0)
+  --trace      replay a recorded trace file as the arrival schedule
+               (implies --strategy=trace_replay; exclusive with
+               --arrival-rate — the trace is the schedule)
+  --trace-out  record this run's injection stream to a trace file
+               (replayable bit-identically via --trace)
   --drain      extra rounds to drain after injection stops (default 0)
   --workers    threads driving the shard-parallel round loop (default 1;
                any value gives bit-identical results)
@@ -196,9 +208,32 @@ bool ParseConfig(const Flags& flags, core::SimConfig* config) {
     std::fprintf(stderr, "--zipf must be >= 0 (got %g)\n", config->zipf_theta);
     return false;
   }
-  config->strategy = flags.GetString("strategy", "uniform_random");
+  config->arrival_rate = flags.GetDouble("arrival-rate", 0.0);
+  config->arrival_burst = flags.GetDouble("burst", config->arrival_burst);
+  // Exit-2 contract: a bad open-loop rate/burst pair is an input error,
+  // never the SSHARD_CHECK abort in the engine constructor.
+  if (!core::ValidateArrivalRate(config->arrival_rate,
+                                 config->arrival_burst)) {
+    return false;
+  }
+  config->trace = flags.GetString("trace", "");
+  config->trace_out = flags.GetString("trace-out", "");
+  config->strategy = flags.GetString(
+      "strategy", config->trace.empty() ? "uniform_random" : "trace_replay");
   if (!ValidateRegistryName(adversary::StrategyRegistry::Global(), "strategy",
                             config->strategy)) {
+    return false;
+  }
+  // The trace/strategy/rate coupling and the trace file itself (magic,
+  // meta, checksum, record grammar) are input errors too: exit 2 with one
+  // "invalid trace: ..." line, never an abort inside the replayer.
+  if (!core::ValidateTraceConfig(config->trace, config->strategy,
+                                 config->arrival_rate)) {
+    return false;
+  }
+  if (!config->trace.empty() &&
+      !traffic::ValidateTraceFile(config->trace, config->shards,
+                                  config->accounts)) {
     return false;
   }
 
@@ -266,6 +301,16 @@ int main(int argc, char** argv) {
   std::printf("messages            : %llu (payload units %llu)\n",
               static_cast<unsigned long long>(result.messages),
               static_cast<unsigned long long>(result.payload_units));
+  if (config.arrival_rate > 0.0 || !config.trace.empty()) {
+    std::printf("open-loop arrivals  : %llu offered, %llu injected "
+                "(lag peak %llu)\n",
+                static_cast<unsigned long long>(result.offered_txns),
+                static_cast<unsigned long long>(result.injected_txns),
+                static_cast<unsigned long long>(result.inject_lag_peak));
+  }
+  if (!config.trace_out.empty()) {
+    std::printf("trace recorded      : %s\n", config.trace_out.c_str());
+  }
   if (config.wal) {
     std::printf("wal                 : %llu bytes, %llu checkpoints\n",
                 static_cast<unsigned long long>(result.wal_bytes),

@@ -29,6 +29,7 @@ bool Adversary::TryInjectOne(Round round,
       continue;  // redraw — another candidate may fit the remaining tokens
     }
     buckets_.Consume(touched);
+    if (recorder_) recorder_(round, candidate.home, candidate.accesses);
     out->push_back(factory_.Make(candidate.home, round, candidate.accesses));
     ++stats_.injected;
     stats_.congestion += touched.size();

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -65,6 +66,17 @@ class Adversary {
   const Strategy& strategy() const { return *strategy_; }
   TxnId next_txn_id() const { return factory_.created(); }
 
+  /// Optional per-admission hook (round, home, account accesses), fired in
+  /// injection order from the same serial phase GenerateRound runs in —
+  /// the engine's trace recording feed (traffic::TraceWriter). Specs, not
+  /// built Transactions: only the spec preserves the access order a
+  /// bit-identical replay needs.
+  using InjectionRecorder = std::function<void(
+      Round, ShardId, const std::vector<txn::AccessSpec>&)>;
+  void set_recorder(InjectionRecorder recorder) {
+    recorder_ = std::move(recorder);
+  }
+
  private:
   /// Try to admit one candidate; returns true if injected.
   bool TryInjectOne(Round round, std::vector<txn::Transaction>* out);
@@ -75,6 +87,7 @@ class Adversary {
   TokenBucketArray buckets_;
   txn::TxnFactory factory_;
   Rng rng_;
+  InjectionRecorder recorder_;
   double pacing_budget_ = 0.0;  ///< accumulated congestion budget
   bool burst_done_ = false;
   AdversaryStats stats_;

@@ -14,6 +14,10 @@ std::string SimConfig::Describe() const {
      << " b=" << burstiness << " strat=" << strategy << " rounds=" << rounds
      << " seed=" << seed;
   if (worker_threads > 1) os << " wt=" << worker_threads;
+  if (arrival_rate > 0.0) {
+    os << " arr=" << arrival_rate << "/" << arrival_burst;
+  }
+  if (!trace.empty()) os << " trace=" << trace;
   if (bds_color_leaders > 1) os << " cl=" << bds_color_leaders;
   if (fds_top_roots > 1) os << " roots=" << fds_top_roots;
   if (scheduler == "backpressure") {
@@ -109,6 +113,50 @@ bool ValidateCheckpointInterval(Round checkpoint_interval, bool wal_enabled) {
                "invalid checkpoint-interval: --checkpoint-interval requires "
                "--wal\n");
   return false;
+}
+
+bool ValidateArrivalRate(double arrival_rate, double arrival_burst) {
+  if (arrival_rate < 0.0) {
+    std::fprintf(stderr,
+                 "invalid arrival-rate: need --arrival-rate >= 0 (got %g)\n",
+                 arrival_rate);
+    return false;
+  }
+  if (arrival_rate > 0.0 && arrival_burst < 1.0) {
+    std::fprintf(stderr,
+                 "invalid arrival-rate: open loop needs --burst >= 1 "
+                 "(got %g)\n",
+                 arrival_burst);
+    return false;
+  }
+  return true;
+}
+
+bool ValidateTraceConfig(const std::string& trace, const std::string& strategy,
+                         double arrival_rate) {
+  if (trace.empty()) {
+    if (strategy == "trace_replay") {
+      std::fprintf(stderr,
+                   "invalid trace: --strategy=trace_replay requires "
+                   "--trace\n");
+      return false;
+    }
+    return true;
+  }
+  if (strategy != "trace_replay") {
+    std::fprintf(stderr,
+                 "invalid trace: --trace requires --strategy=trace_replay "
+                 "(got --strategy=%s)\n",
+                 strategy.c_str());
+    return false;
+  }
+  if (arrival_rate > 0.0) {
+    std::fprintf(stderr,
+                 "invalid trace: --trace and --arrival-rate are exclusive "
+                 "(the trace is the arrival schedule)\n");
+    return false;
+  }
+  return true;
 }
 
 }  // namespace stableshard::core

@@ -46,6 +46,32 @@ struct SimConfig {
   Distance local_radius = 4;    ///< "local" strategy only
   double zipf_theta = 1.0;      ///< "hot_destination" skew exponent
 
+  // Traffic (src/traffic/): open-loop, arrival-time-driven injection.
+  /// Aggregate open-loop arrival rate in transactions per wall round
+  /// (token-bucket paced; any positive value — striped internally). 0 (the
+  /// default) keeps the classic closed-loop adversary, byte-identical to
+  /// the pre-traffic engine. With a positive rate the registered strategy
+  /// decides only transaction *shape*; timing is the schedule's, decoupled
+  /// from commit progress — arrivals continue through crash stalls
+  /// (accruing as injection backlog) and into former drain rounds. CLIs
+  /// validate via ValidateArrivalRate and exit 2.
+  double arrival_rate = 0.0;
+  /// Open-loop burst cap b: the one-shot clump released at `burst_round`
+  /// (reusing the closed-loop knob; kNoRound = pure paced stream). Unlike
+  /// the closed-loop round-0 preload, an open-loop burst can land mid-run,
+  /// where admission control has live statistics to react with. Must be
+  /// >= 1 when arrival_rate > 0.
+  double arrival_burst = 1.0;
+  /// Replay arrivals + shapes from this trace file (traffic/trace.h).
+  /// Non-empty selects open-loop trace mode: requires
+  /// strategy == "trace_replay" and arrival_rate == 0, and the file's meta
+  /// shard/account counts must match this config. CLIs validate via
+  /// ValidateTraceConfig + traffic::ValidateTraceFile and exit 2.
+  std::string trace;
+  /// Record this run's injection stream (closed- or open-loop) to a trace
+  /// file at the end of Run() — the TraceWriter feed for golden replays.
+  std::string trace_out;
+
   // Scheduler: a name registered in core::SchedulerRegistry ("backpressure",
   // "bds", "fds", "direct" in-tree; embedders may register more — the
   // engine never names schedulers itself).
@@ -198,6 +224,23 @@ bool ValidateReplayBytesPerRound(std::uint64_t replay_bytes_per_round);
 /// invariant.
 bool ValidateCheckpointInterval(Round checkpoint_interval, bool wal_enabled);
 
+/// CLI-shared validation for the open-loop arrival knobs: true when
+/// `arrival_rate` >= 0 and, when positive, `arrival_burst` >= 1. Otherwise
+/// prints one "invalid arrival-rate: ..." line to stderr and returns false
+/// so the caller can exit 2. The engine constructor re-checks as an
+/// aborting invariant.
+bool ValidateArrivalRate(double arrival_rate, double arrival_burst);
+
+/// CLI-shared validation for the trace/strategy/rate coupling: a non-empty
+/// `trace` requires strategy "trace_replay" and arrival_rate == 0 (the two
+/// open-loop modes are exclusive), and "trace_replay" requires a trace.
+/// Prints one "invalid trace: ..." line to stderr and returns false so the
+/// caller can exit 2. File-level validation (parse, checksum, meta match)
+/// is traffic::ValidateTraceFile; the engine constructor re-checks both as
+/// aborting invariants.
+bool ValidateTraceConfig(const std::string& trace, const std::string& strategy,
+                         double arrival_rate);
+
 /// Aggregated outcome of one simulation run.
 struct SimResult {
   // Figure metrics.
@@ -231,6 +274,17 @@ struct SimResult {
   // Cost.
   std::uint64_t messages = 0;
   std::uint64_t payload_units = 0;
+
+  // Traffic (equal to `injected` under the closed-loop default; part of
+  // the bit-identity contract like every other field).
+  /// Arrivals the schedule produced, whether or not the strategy could
+  /// shape them (open-loop); == injected for closed-loop runs.
+  std::uint64_t offered_txns = 0;
+  /// Transactions the injector actually handed to the engine.
+  std::uint64_t injected_txns = 0;
+  /// Peak arrivals waiting out a protocol stall (crash outage/replay) —
+  /// 0 for closed-loop or fault-free runs.
+  std::uint64_t inject_lag_peak = 0;
 
   // Durability & recovery (all 0 unless SimConfig::wal). Part of the
   // bit-identity contract like every other field: same config ⇒ same WAL

@@ -36,6 +36,18 @@ Simulation::Simulation(const SimConfig& config)
   SSHARD_CHECK(config.fds_top_roots >= 1);
   SSHARD_CHECK(config.replay_bytes_per_round >= 1);
   SSHARD_CHECK(config.checkpoint_interval == 0 || config.wal);
+  SSHARD_CHECK(config.arrival_rate >= 0.0);
+  SSHARD_CHECK(config.arrival_rate == 0.0 || config.arrival_burst >= 1.0);
+  if (!config.trace.empty()) {
+    SSHARD_CHECK(config.strategy == "trace_replay" &&
+                 "a trace requires the trace_replay strategy");
+    SSHARD_CHECK(config.arrival_rate == 0.0 &&
+                 "trace and arrival_rate are exclusive");
+  } else {
+    SSHARD_CHECK(config.strategy != "trace_replay" &&
+                 "trace_replay requires SimConfig::trace");
+  }
+  open_loop_ = !config.trace.empty() || config.arrival_rate > 0.0;
   std::string fault_error;
   SSHARD_CHECK(
       durability::ParseFaultPlan(config.faults, &fault_plan_, &fault_error) &&
@@ -72,16 +84,62 @@ Simulation::Simulation(const SimConfig& config)
     ledger_->AttachWal(wal_.get());
   }
 
-  adversary::AdversaryConfig adversary_config;
-  adversary_config.rho = config.rho;
-  adversary_config.burstiness = config.burstiness;
-  adversary_config.burst_round = config.burst_round;
-  adversary_config.seed = Mix64(config.seed ^ 0xada5a77e5eedULL);
+  // The injection seam: both loops build their workload strategy through
+  // the registry and derive generation randomness from the same seed, so a
+  // strategy shapes candidates identically whichever loop drives it.
+  const std::uint64_t injection_seed = Mix64(config.seed ^ 0xada5a77e5eedULL);
   adversary::StrategyDeps strategy_deps{*accounts_, *metric_, rng_};
-  adversary_ = std::make_unique<adversary::Adversary>(
-      adversary_config, *accounts_,
-      adversary::StrategyRegistry::Global().Build(config.strategy, config_,
-                                                  strategy_deps));
+  auto strategy = adversary::StrategyRegistry::Global().Build(
+      config.strategy, config_, strategy_deps);
+  if (!config.trace_out.empty()) {
+    trace_writer_ =
+        std::make_unique<traffic::TraceWriter>(config.shards, config.accounts);
+  }
+  if (open_loop_) {
+    std::unique_ptr<traffic::ArrivalSchedule> schedule;
+    if (!config.trace.empty()) {
+      traffic::Trace trace;
+      std::string trace_error;
+      SSHARD_CHECK(
+          traffic::LoadTraceFile(config.trace, &trace, &trace_error) &&
+          "unparseable SimConfig::trace file");
+      SSHARD_CHECK(trace.shards == config.shards &&
+                   trace.accounts == config.accounts &&
+                   "trace recorded for a different shard/account layout");
+      schedule = std::make_unique<traffic::TraceArrivals>(trace);
+    } else {
+      schedule = std::make_unique<traffic::TokenBucketArrivals>(
+          config.arrival_rate, config.arrival_burst, config.burst_round,
+          config.rounds);
+    }
+    auto open = std::make_unique<traffic::OpenLoopInjector>(
+        std::move(schedule), std::move(strategy), *accounts_, injection_seed);
+    if (trace_writer_) {
+      open->set_recorder([writer = trace_writer_.get()](
+                             Round round, ShardId home,
+                             const std::vector<txn::AccessSpec>& accesses) {
+        writer->Record(round, home, accesses);
+      });
+    }
+    injector_ = std::move(open);
+  } else {
+    adversary::AdversaryConfig adversary_config;
+    adversary_config.rho = config.rho;
+    adversary_config.burstiness = config.burstiness;
+    adversary_config.burst_round = config.burst_round;
+    adversary_config.seed = injection_seed;
+    adversary_ = std::make_unique<adversary::Adversary>(
+        adversary_config, *accounts_, std::move(strategy));
+    if (trace_writer_) {
+      adversary_->set_recorder([writer = trace_writer_.get()](
+                                   Round round, ShardId home,
+                                   const std::vector<txn::AccessSpec>& accesses) {
+        writer->Record(round, home, accesses);
+      });
+    }
+    injector_ =
+        std::make_unique<traffic::ClosedLoopInjector>(*adversary_, config.rounds);
+  }
 
   SchedulerDeps deps{*metric_, *ledger_,
                      [this](std::uint32_t top_roots)
@@ -123,7 +181,7 @@ const cluster::Hierarchy& Simulation::EnsureHierarchy(
 
 void Simulation::Generate(Round round) {
   const auto start = Clock::now();
-  adversary_->GenerateRound(round, txn_buffer_);
+  injector_->GenerateRound(round, txn_buffer_);
   generated_round_ = round;
   phase_times_.generate += SecondsSince(start);
 }
@@ -218,9 +276,11 @@ SimResult Simulation::Run() {
   Round wall = 0;
   // One stalled wall round: the protocol clock (scheduler, adversary,
   // injection) is frozen; metrics still sample so outages are visible in
-  // the per-round series and averages.
+  // the per-round series and averages. Open-loop arrivals do NOT freeze —
+  // the injector accrues them as backlog (closed-loop's hook is a no-op).
   const auto stall_round = [&]() {
     sample_round_metrics(wall);
+    injector_->OnStalledRound();
     ++wall;
     ++recovery_rounds_;
   };
@@ -247,7 +307,18 @@ SimResult Simulation::Run() {
     }
     txn_buffer_.clear();
     phase_times_.inject += SecondsSince(inject_start);
-    StepRound(round, round + 1 < config_.rounds ? round + 1 : kNoRound);
+    // Pipelined pre-generation of round + 1 — suppressed in open loop when
+    // a fault lands on the round + 1 boundary: the serial order is stall
+    // rounds (arrivals accrue as backlog) *then* generation, and an
+    // overlapped Generate would consume the schedule's wall rounds first,
+    // perturbing arrival accounting vs the pipeline-off run. Closed-loop
+    // generation reads no wall clock, so it keeps the overlap always.
+    Round generate_round = round + 1 < config_.rounds ? round + 1 : kNoRound;
+    if (open_loop_ && next_fault_ < fault_plan_.events.size() &&
+        fault_plan_.events[next_fault_].crash_round == round + 1) {
+      generate_round = kNoRound;
+    }
+    StepRound(round, generate_round);
     sample_round_metrics(wall);
     ++wall;
     ++protocol_rounds_done_;
@@ -259,9 +330,24 @@ SimResult Simulation::Run() {
   if (config_.drain_cap > 0) {
     const Round limit = config_.rounds + config_.drain_cap;
     while (round < limit) {
-      if (scheduler_->Idle()) {
+      // Open-loop arrivals keep landing during what used to be pure drain
+      // rounds, until the schedule is exhausted (a trace's records may
+      // extend past config.rounds). Closed-loop is exhausted here by
+      // construction, so the classic inject-free drain runs unchanged.
+      const bool more_arrivals = !injector_->Exhausted();
+      if (!more_arrivals && scheduler_->Idle()) {
         drained = true;
         break;
+      }
+      if (more_arrivals) {
+        Generate(round);
+        const auto inject_start = Clock::now();
+        for (txn::Transaction& txn : txn_buffer_) {
+          ledger_->RegisterInjection(txn);
+          scheduler_->Inject(txn);
+        }
+        txn_buffer_.clear();
+        phase_times_.inject += SecondsSince(inject_start);
       }
       StepRound(round, kNoRound);
       sample_round_metrics(wall);
@@ -270,7 +356,7 @@ SimResult Simulation::Run() {
       MaybeCheckpoint(round);
       ++round;
     }
-    if (!drained) drained = scheduler_->Idle();
+    if (!drained) drained = injector_->Exhausted() && scheduler_->Idle();
   }
   phase_times_.total = SecondsSince(run_start);
 
@@ -300,6 +386,17 @@ SimResult Simulation::Run() {
   result.checkpoint_count = checkpoint_count_;
   result.replay_bytes = replay_bytes_;
   result.recovery_rounds = recovery_rounds_;
+  result.offered_txns = injector_->offered();
+  result.injected_txns = injector_->injected();
+  result.inject_lag_peak = injector_->lag_peak();
+
+  if (trace_writer_) {
+    std::string trace_error;
+    SSHARD_CHECK(traffic::WriteTraceFile(config_.trace_out,
+                                         trace_writer_->trace(),
+                                         &trace_error) &&
+                 "failed to write SimConfig::trace_out");
+  }
   return result;
 }
 

@@ -2,8 +2,10 @@
 // ledger together and runs the synchronous round loop.
 //
 // Round structure (Section 3's synchronous model):
-//   1. the adversary generates this round's transactions (subject to the
-//      (rho, b) token buckets);
+//   1. the injector generates this round's transactions — by default the
+//      closed-loop adversary (subject to the (rho, b) token buckets), or
+//      the open-loop arrival schedule when SimConfig::arrival_rate / trace
+//      select it (see traffic/injector.h);
 //   2. each is registered with the ledger and injected at its home shard;
 //   3. the scheduler executes one round: BeginRound (serial), StepShard for
 //      every shard — fanned out across the persistent worker pool when
@@ -52,6 +54,8 @@
 #include "net/metric.h"
 #include "stats/running_stats.h"
 #include "stats/time_series.h"
+#include "traffic/injector.h"
+#include "traffic/trace.h"
 
 namespace stableshard::core {
 
@@ -89,7 +93,11 @@ class Simulation {
   const chain::AccountMap& accounts() const { return *accounts_; }
   const CommitLedger& ledger() const { return *ledger_; }
   Scheduler& scheduler() { return *scheduler_; }
+  /// Closed-loop runs only (the open-loop injector owns its strategy and
+  /// factory; there is no adversary then).
   const adversary::Adversary& adversary() const { return *adversary_; }
+  /// The injection seam (always present; closed-loop wraps the adversary).
+  const traffic::Injector& injector() const { return *injector_; }
   const cluster::Hierarchy* hierarchy() const { return hierarchy_.get(); }
   const durability::LivenessTracker& liveness() const { return *liveness_; }
   /// Durable medium behind the WAL (nullptr unless SimConfig::wal).
@@ -142,7 +150,10 @@ class Simulation {
   std::unique_ptr<CommitLedger> ledger_;
   std::unique_ptr<cluster::Hierarchy> hierarchy_;
   std::uint32_t hierarchy_top_roots_ = 0;  ///< 0 = not built yet
-  std::unique_ptr<adversary::Adversary> adversary_;
+  std::unique_ptr<adversary::Adversary> adversary_;  ///< closed-loop only
+  std::unique_ptr<traffic::Injector> injector_;
+  std::unique_ptr<traffic::TraceWriter> trace_writer_;  ///< trace_out only
+  bool open_loop_ = false;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<ThreadPool> pool_;  ///< persistent; worker_threads > 1
   std::unique_ptr<durability::MemoryStorage> storage_;  ///< wal only

@@ -1,0 +1,340 @@
+#include "traffic/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "adversary/strategy_internal.h"
+#include "common/check.h"
+#include "durability/encoding.h"
+
+namespace stableshard::traffic {
+
+namespace {
+
+constexpr const char* kMagic = "sshard-trace v1";
+
+bool Fail(std::string* error, const std::string& reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+/// Parse a decimal u64 starting at `pos`; advances `pos` past the digits.
+bool ParseNumber(const std::string& text, std::size_t* pos,
+                 std::uint64_t* out) {
+  const std::size_t start = *pos;
+  std::uint64_t value = 0;
+  while (*pos < text.size() && text[*pos] >= '0' && text[*pos] <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(text[*pos] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+    ++*pos;
+  }
+  if (*pos == start) return false;  // no digits
+  *out = value;
+  return true;
+}
+
+/// Signed variant for the amount column.
+bool ParseSigned(const std::string& text, std::size_t* pos,
+                 std::int64_t* out) {
+  bool negative = false;
+  if (*pos < text.size() && text[*pos] == '-') {
+    negative = true;
+    ++*pos;
+  }
+  std::uint64_t magnitude = 0;
+  if (!ParseNumber(text, pos, &magnitude)) return false;
+  const auto limit =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  if (magnitude > limit + (negative ? 1u : 0u)) return false;  // overflow
+  *out = negative ? -static_cast<std::int64_t>(magnitude)
+                  : static_cast<std::int64_t>(magnitude);
+  return true;
+}
+
+/// Parse exactly 16 lowercase-hex digits into a u64.
+bool ParseChecksum(const std::string& text, std::size_t* pos,
+                   std::uint64_t* out) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (*pos >= text.size()) return false;
+    const char c = text[*pos];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+    ++*pos;
+  }
+  *out = value;
+  return true;
+}
+
+/// Next '\n'-terminated line (or the unterminated tail); false at EOF.
+bool NextLine(const std::string& text, std::size_t* pos, std::string* line) {
+  if (*pos >= text.size()) return false;
+  const std::size_t newline = text.find('\n', *pos);
+  if (newline == std::string::npos) {
+    line->assign(text, *pos, text.size() - *pos);
+    *pos = text.size();
+  } else {
+    line->assign(text, *pos, newline - *pos);
+    *pos = newline + 1;
+  }
+  return true;
+}
+
+bool ParseRecordLine(const std::string& line, const Trace& trace,
+                     TraceRecord* record, std::string* error) {
+  std::size_t pos = 0;
+  std::uint64_t round = 0;
+  if (!ParseNumber(line, &pos, &round)) {
+    return Fail(error, "malformed record: expected <round> number");
+  }
+  record->round = round;
+  if (pos >= line.size() || line[pos] != ' ') {
+    return Fail(error, "malformed record: expected ' ' after round");
+  }
+  ++pos;
+  std::uint64_t home = 0;
+  if (!ParseNumber(line, &pos, &home)) {
+    return Fail(error, "malformed record: expected <home> number");
+  }
+  if (home >= trace.shards) {
+    return Fail(error, "home shard out of range");
+  }
+  record->home = static_cast<ShardId>(home);
+  if (pos >= line.size() || line[pos] != ' ') {
+    return Fail(error, "malformed record: expected ' ' after home");
+  }
+  ++pos;
+  if (!ParseSigned(line, &pos, &record->amount)) {
+    return Fail(error, "malformed record: expected <amount> number");
+  }
+  record->accesses.clear();
+  while (pos < line.size()) {
+    if (line[pos] != ' ') {
+      return Fail(error, "malformed record: expected ' ' before account");
+    }
+    ++pos;
+    std::uint64_t account = 0;
+    if (!ParseNumber(line, &pos, &account)) {
+      return Fail(error, "malformed record: expected <account> number");
+    }
+    if (account >= trace.accounts) {
+      return Fail(error, "account out of range");
+    }
+    TraceAccess access;
+    access.account = account;
+    if (pos < line.size() && line[pos] == '!') {
+      access.poisoned = true;
+      ++pos;
+    }
+    record->accesses.push_back(access);
+  }
+  if (record->accesses.empty()) {
+    return Fail(error, "record lists no accounts");
+  }
+  return true;
+}
+
+/// Expect `prefix` at `pos` and advance past it.
+bool Expect(const std::string& text, std::size_t* pos, const char* prefix) {
+  const std::size_t len = std::char_traits<char>::length(prefix);
+  if (text.compare(*pos, len, prefix) != 0) return false;
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+bool ParseTrace(const std::string& text, Trace* trace, std::string* error) {
+  trace->records.clear();
+  std::size_t pos = 0;
+  std::string line;
+  if (!NextLine(text, &pos, &line)) {
+    return Fail(error, "missing header");
+  }
+  if (line != kMagic) {
+    return Fail(error, "unsupported trace version \"" + line +
+                           "\" (expected \"" + kMagic + "\")");
+  }
+  if (!NextLine(text, &pos, &line)) {
+    return Fail(error, "missing meta line");
+  }
+  std::size_t meta_pos = 0;
+  std::uint64_t shards = 0;
+  std::uint64_t accounts = 0;
+  std::uint64_t records = 0;
+  std::uint64_t checksum = 0;
+  if (!Expect(line, &meta_pos, "meta shards=") ||
+      !ParseNumber(line, &meta_pos, &shards) ||
+      !Expect(line, &meta_pos, " accounts=") ||
+      !ParseNumber(line, &meta_pos, &accounts) ||
+      !Expect(line, &meta_pos, " records=") ||
+      !ParseNumber(line, &meta_pos, &records) ||
+      !Expect(line, &meta_pos, " checksum=") ||
+      !ParseChecksum(line, &meta_pos, &checksum) ||
+      meta_pos != line.size()) {
+    return Fail(error, "malformed meta line");
+  }
+  if (shards == 0 || shards > std::numeric_limits<ShardId>::max()) {
+    return Fail(error, "meta shards out of range");
+  }
+  if (accounts == 0) return Fail(error, "meta accounts out of range");
+  trace->shards = static_cast<ShardId>(shards);
+  trace->accounts = accounts;
+
+  // The record region: every remaining line, exactly `records` of them.
+  // Count before interpreting so truncation gets its own diagnosis, then
+  // checksum the exact bytes so corruption is caught before any record is
+  // trusted, then parse.
+  const std::size_t region_start = pos;
+  std::vector<std::string> lines;
+  while (NextLine(text, &pos, &line)) lines.push_back(line);
+  if (lines.size() < records) {
+    return Fail(error, "truncated trace: expected " +
+                           std::to_string(records) + " records, found " +
+                           std::to_string(lines.size()));
+  }
+  if (lines.size() > records) {
+    return Fail(error, "trailing data after " + std::to_string(records) +
+                           " records");
+  }
+  const std::uint64_t actual = durability::Fnv1a(
+      reinterpret_cast<const std::uint8_t*>(text.data()) + region_start,
+      text.size() - region_start);
+  if (actual != checksum) {
+    return Fail(error, "checksum mismatch");
+  }
+
+  trace->records.reserve(lines.size());
+  for (const std::string& record_line : lines) {
+    TraceRecord record;
+    if (!ParseRecordLine(record_line, *trace, &record, error)) return false;
+    if (!trace->records.empty() &&
+        record.round < trace->records.back().round) {
+      return Fail(error, "record rounds must be non-decreasing");
+    }
+    trace->records.push_back(std::move(record));
+  }
+  return true;
+}
+
+std::string SerializeTrace(const Trace& trace) {
+  std::ostringstream body;
+  // Trace::records is a std::vector; the name merely collides with bds.h's
+  // unordered_map parameter in the lint's cross-file symbol table.
+  // lint:allow(unordered-iteration): vector, not an unordered container
+  for (const TraceRecord& record : trace.records) {
+    body << record.round << ' ' << record.home << ' ' << record.amount;
+    for (const TraceAccess& access : record.accesses) {
+      body << ' ' << access.account;
+      if (access.poisoned) body << '!';
+    }
+    body << '\n';
+  }
+  const std::string records = body.str();
+  const std::uint64_t checksum = durability::Fnv1a(
+      reinterpret_cast<const std::uint8_t*>(records.data()), records.size());
+  char header[160];
+  std::snprintf(header, sizeof(header),
+                "%s\nmeta shards=%llu accounts=%llu records=%llu "
+                "checksum=%016llx\n",
+                kMagic, static_cast<unsigned long long>(trace.shards),
+                static_cast<unsigned long long>(trace.accounts),
+                static_cast<unsigned long long>(trace.records.size()),
+                static_cast<unsigned long long>(checksum));
+  return std::string(header) + records;
+}
+
+bool LoadTraceFile(const std::string& path, Trace* trace,
+                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(error, "cannot open file");
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) return Fail(error, "read error");
+  return ParseTrace(contents.str(), trace, error);
+}
+
+bool WriteTraceFile(const std::string& path, const Trace& trace,
+                    std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Fail(error, "cannot open file for writing");
+  const std::string text = SerializeTrace(trace);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) return Fail(error, "write error");
+  return true;
+}
+
+bool ValidateTraceFile(const std::string& path, ShardId shards,
+                       AccountId accounts) {
+  Trace trace;
+  std::string error;
+  if (!LoadTraceFile(path, &trace, &error)) {
+    std::fprintf(stderr, "invalid trace: %s (file \"%s\")\n", error.c_str(),
+                 path.c_str());
+    return false;
+  }
+  if (trace.shards != shards || trace.accounts != accounts) {
+    std::fprintf(stderr,
+                 "invalid trace: recorded for shards=%u accounts=%llu, run "
+                 "has shards=%u accounts=%llu (file \"%s\")\n",
+                 trace.shards,
+                 static_cast<unsigned long long>(trace.accounts), shards,
+                 static_cast<unsigned long long>(accounts), path.c_str());
+    return false;
+  }
+  return true;
+}
+
+TraceWriter::TraceWriter(ShardId shards, AccountId accounts) {
+  SSHARD_CHECK(shards >= 1 && accounts >= 1);
+  trace_.shards = shards;
+  trace_.accounts = accounts;
+}
+
+void TraceWriter::Record(Round round, ShardId home,
+                         const std::vector<txn::AccessSpec>& accesses) {
+  SSHARD_CHECK(!accesses.empty() && "unrecordable: no accesses");
+  SSHARD_CHECK(home < trace_.shards && "unrecordable: home out of range");
+  SSHARD_CHECK(trace_.records.empty() ||
+               round >= trace_.records.back().round);
+  TraceRecord record;
+  record.round = round;
+  record.home = home;
+  record.amount = accesses.front().action.amount;
+  for (const txn::AccessSpec& spec : accesses) {
+    // Only the touch shape round-trips through the v1 format: write +
+    // uniform deposit, optionally the standard unsatisfiable poison.
+    SSHARD_CHECK(spec.write && spec.action.kind == chain::ActionKind::kDeposit &&
+                 spec.action.account == spec.account &&
+                 spec.action.amount == record.amount &&
+                 "unrecordable access shape (trace v1 records touch-shaped "
+                 "transactions only)");
+    SSHARD_CHECK(spec.account < trace_.accounts &&
+                 "unrecordable: account out of range");
+    TraceAccess access;
+    access.account = spec.account;
+    if (spec.has_condition) {
+      SSHARD_CHECK(spec.condition.account == spec.account &&
+                   spec.condition.op == chain::CmpOp::kGe &&
+                   spec.condition.value ==
+                       adversary::internal::kImpossibleThreshold &&
+                   "unrecordable condition shape");
+      access.poisoned = true;
+    }
+    record.accesses.push_back(access);
+  }
+  trace_.records.push_back(std::move(record));
+}
+
+}  // namespace stableshard::traffic

@@ -1,9 +1,11 @@
-// Scheduler x strategy x topology differential harness.
+// Scheduler x strategy x topology x injector-mode differential harness.
 //
 // The cross-product is enumerated from the live registries
 // (core::SchedulerRegistry, adversary::StrategyRegistry), so a newly
-// registered scheduler or workload is covered here with zero test edits.
-// Every cell must satisfy, after a capped drain:
+// registered scheduler or workload is covered here with zero test edits,
+// and every cell runs under both injector modes: the closed-loop adversary
+// (the (rho, b) token buckets) and the open-loop arrival schedule
+// (traffic/injector.h). Every cell must satisfy, after a capped drain:
 //   - the accounting identity injected == committed + aborted + unresolved;
 //   - liveness: the run drains (unresolved == 0) within the cap;
 //   - differential determinism: worker_threads = 1 and 4 produce
@@ -11,6 +13,7 @@
 //   - conservation: no workload mints or destroys money (separate test).
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -66,31 +69,69 @@ SimConfig MatrixConfig(const std::string& scheduler,
   return config;
 }
 
+// One golden trace per topology: a closed-loop uniform_random run whose
+// injection stream is captured by the engine's TraceWriter. The open-mode
+// trace_replay cells replay it through every scheduler — record once,
+// replay everywhere.
+const std::string& GoldenTrace(net::TopologyKind topology) {
+  static std::map<std::string, std::string>* cache =
+      new std::map<std::string, std::string>;
+  const std::string key = net::TopologyName(topology);
+  const auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  const std::string path =
+      ::testing::TempDir() + "matrix_golden_" + key + ".trace";
+  SimConfig config = MatrixConfig("direct", "uniform_random", topology);
+  config.trace_out = path;
+  core::Simulation sim(config);
+  const SimResult result = sim.Run();
+  EXPECT_GT(result.injected, 0u);
+  return (*cache)[key] = path;
+}
+
 TEST(Matrix, SchedulerStrategyTopologyCrossProduct) {
   const auto schedulers = core::SchedulerRegistry::Global().Names();
   const auto strategies = adversary::StrategyRegistry::Global().Names();
   // The in-tree registrations must all be present (more may be registered).
   ASSERT_GE(schedulers.size(), 3u);
-  ASSERT_GE(strategies.size(), 7u);
+  ASSERT_GE(strategies.size(), 8u);
 
-  for (const net::TopologyKind topology :
-       {net::TopologyKind::kUniform, net::TopologyKind::kLine}) {
-    for (const std::string& scheduler : schedulers) {
-      if (!SupportsTopology(scheduler, topology)) continue;
-      for (const std::string& strategy : strategies) {
-        SCOPED_TRACE(scheduler + " x " + strategy + " x " +
-                     net::TopologyName(topology));
-        const SimConfig config = MatrixConfig(scheduler, strategy, topology);
+  for (const bool open_loop : {false, true}) {
+    for (const net::TopologyKind topology :
+         {net::TopologyKind::kUniform, net::TopologyKind::kLine}) {
+      for (const std::string& scheduler : schedulers) {
+        if (!SupportsTopology(scheduler, topology)) continue;
+        for (const std::string& strategy : strategies) {
+          SCOPED_TRACE(std::string(open_loop ? "open" : "closed") + " x " +
+                       scheduler + " x " + strategy + " x " +
+                       net::TopologyName(topology));
+          SimConfig config = MatrixConfig(scheduler, strategy, topology);
+          if (strategy == "trace_replay") {
+            // Replay needs a recorded schedule; the closed loop has none —
+            // the open pass replays the per-topology golden trace instead.
+            if (!open_loop) continue;
+            config.trace = GoldenTrace(topology);
+          } else if (open_loop) {
+            config.arrival_rate = 0.4;
+            config.arrival_burst = 6.0;
+          }
 
-        const SimResult serial = RunWithWorkers(config, 1);
-        EXPECT_GT(serial.injected, 0u);
-        EXPECT_EQ(serial.injected,
-                  serial.committed + serial.aborted + serial.unresolved);
-        EXPECT_TRUE(serial.drained) << "did not drain within the cap";
-        EXPECT_EQ(serial.unresolved, 0u);
+          const SimResult serial = RunWithWorkers(config, 1);
+          EXPECT_GT(serial.injected, 0u);
+          EXPECT_EQ(serial.injected,
+                    serial.committed + serial.aborted + serial.unresolved);
+          EXPECT_TRUE(serial.drained) << "did not drain within the cap";
+          EXPECT_EQ(serial.unresolved, 0u);
+          if (open_loop) {
+            // Open loop: every offered transaction was eventually injected
+            // (the schedule drains through the drain phase if need be).
+            EXPECT_GT(serial.offered_txns, 0u);
+            EXPECT_EQ(serial.offered_txns, serial.injected_txns);
+          }
 
-        const SimResult parallel = RunWithWorkers(config, 4);
-        ExpectBitIdenticalResults(serial, parallel);
+          const SimResult parallel = RunWithWorkers(config, 4);
+          ExpectBitIdenticalResults(serial, parallel);
+        }
       }
     }
   }
@@ -109,6 +150,9 @@ TEST(Matrix, BalanceConservationAcrossAllStrategies) {
       SCOPED_TRACE(strategy + " seed " + std::to_string(seed));
       SimConfig config =
           MatrixConfig("direct", strategy, net::TopologyKind::kLine);
+      if (strategy == "trace_replay") {
+        config.trace = GoldenTrace(net::TopologyKind::kLine);
+      }
       config.seed = seed;
       config.abort_probability = 0.25;  // exercise the abort path too
       core::Simulation sim(config);

@@ -64,6 +64,9 @@ inline void ExpectBitIdenticalProtocol(const core::SimResult& a,
   EXPECT_EQ(a.payload_units, b.payload_units);
   EXPECT_EQ(a.rounds_executed, b.rounds_executed);
   EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.offered_txns, b.offered_txns);
+  EXPECT_EQ(a.injected_txns, b.injected_txns);
+  EXPECT_EQ(a.inject_lag_peak, b.inject_lag_peak);
   EXPECT_DOUBLE_EQ(a.avg_pending_per_shard, b.avg_pending_per_shard);
   EXPECT_DOUBLE_EQ(a.avg_leader_queue, b.avg_leader_queue);
   EXPECT_DOUBLE_EQ(a.max_leader_queue, b.max_leader_queue);

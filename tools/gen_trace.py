@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Generate production-shaped traffic traces (sshard-trace v1).
+
+Three shapes, all fully deterministic from --seed (the determinism lint's
+python rule enforces that no wall-clock or unseeded randomness ever creeps
+in here — a trace that differs between two generations of the same command
+line would silently break the replay goldens):
+
+  diurnal    sinusoidal arrival rate around --rate (one full day over the
+             run: quiet troughs, busy peaks, mean ~= --rate);
+  flash      half-rate baseline with a ~6x flash crowd spiking through the
+             middle tenth of the run;
+  migrating  constant rate whose Zipf(--theta) hot spot drifts across the
+             shard space over the run — the regional-skew handoff that
+             stresses admission control's hot-set tracking.
+
+Every record is a touch-shaped transaction (the shape the in-tree
+strategies emit): k distinct accounts, the first one owned by the home
+shard, each written with a balance-neutral deposit of --amount. Accounts
+are assigned round-robin (account a lives on shard a mod s), matching
+core::AccountAssignment::kRoundRobin.
+
+Usage:
+  tools/gen_trace.py --shape=migrating --theta=1.2 --out=migrating_t12.trace
+  (see --help for the full knob list; defaults regenerate the tracked
+  fixtures in tests/traces/ byte-for-byte)
+"""
+
+import argparse
+import math
+import random
+import sys
+
+FNV_OFFSET = 0xcbf29ce484222325
+FNV_PRIME = 0x100000001b3
+MASK64 = (1 << 64) - 1
+
+
+def fnv1a(data: bytes) -> int:
+    """64-bit FNV-1a, bit-compatible with durability/encoding.h."""
+    h = FNV_OFFSET
+    for byte in data:
+        h = ((h ^ byte) * FNV_PRIME) & MASK64
+    return h
+
+
+def zipf_cdf(n: int, theta: float):
+    """Cumulative Zipf weights over ranks 0..n-1 (rank 0 hottest)."""
+    weights = [1.0 / ((rank + 1) ** theta) for rank in range(n)]
+    total = sum(weights)
+    cdf, acc = [], 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    return cdf
+
+
+def pick_rank(cdf, rng: random.Random) -> int:
+    r = rng.random()
+    lo, hi = 0, len(cdf) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cdf[mid] < r:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def rate_at(shape: str, t: int, rounds: int, rate: float) -> float:
+    if shape == "diurnal":
+        return rate * (1.0 + 0.5 * math.sin(2.0 * math.pi * t / rounds))
+    if shape == "flash":
+        lo, hi = int(0.45 * rounds), int(0.55 * rounds)
+        return 6.0 * rate if lo <= t < hi else 0.5 * rate
+    return rate  # migrating: constant offered load, moving skew
+
+
+def hot_shard(shape: str, t: int, rounds: int, shards: int) -> int:
+    if shape == "migrating":
+        return (t * shards) // rounds % shards
+    return 0
+
+
+def generate(args) -> str:
+    rng = random.Random(args.seed)
+    cdf = zipf_cdf(args.shards, args.theta)
+    lines = []
+    acc = 0.0
+    for t in range(args.rounds):
+        acc += rate_at(args.shape, t, args.rounds, args.rate)
+        arrivals = int(acc)
+        acc -= arrivals
+        hot = hot_shard(args.shape, t, args.rounds, args.shards)
+        for _ in range(arrivals):
+            # Home = Zipf-ranked distance from the hot spot: rank 0 is the
+            # hot shard itself, rank r the shard r steps around the ring.
+            home = (hot + pick_rank(cdf, rng)) % args.shards
+            accounts = [home % args.accounts]
+            while len(accounts) < args.k:
+                a = (hot + pick_rank(cdf, rng)) % args.shards % args.accounts
+                if a not in accounts:
+                    accounts.append(a)
+            lines.append("%d %d %d %s" % (
+                t, home, args.amount, " ".join(str(a) for a in accounts)))
+    body = "".join(line + "\n" for line in lines)
+    header = "sshard-trace v1\nmeta shards=%d accounts=%d records=%d checksum=%016x\n" % (
+        args.shards, args.accounts, len(lines), fnv1a(body.encode()))
+    return header + body
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shape", required=True,
+                        choices=["diurnal", "flash", "migrating"])
+    parser.add_argument("--rounds", type=int, default=360)
+    parser.add_argument("--shards", type=int, default=32)
+    parser.add_argument("--accounts", type=int, default=32)
+    parser.add_argument("--rate", type=float, default=2.5,
+                        help="mean arrivals per round (diurnal/migrating; "
+                             "flash uses 0.5x baseline, 6x spike)")
+    parser.add_argument("--theta", type=float, default=1.0,
+                        help="Zipf skew of homes/accounts around the hot spot")
+    parser.add_argument("--k", type=int, default=3,
+                        help="accounts touched per transaction")
+    parser.add_argument("--amount", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default="-",
+                        help="output path (default stdout)")
+    args = parser.parse_args(argv)
+    if args.k > args.accounts or args.k > args.shards:
+        parser.error("--k must be <= --accounts and <= --shards")
+    text = generate(args)
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w") as f:
+            f.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

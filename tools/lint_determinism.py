@@ -43,9 +43,18 @@ wall-clock time. This lint catches those patterns statically:
                        filesystem-defined; replay / checkpoint discovery
                        must use explicit ordered indexes, never "whatever
                        the directory lists first".
+  py-nondeterminism    (.py files only) wall-clock reads (time.time,
+                       datetime.now/utcnow, date.today) or unseeded
+                       randomness (module-level random.* calls,
+                       os.urandom, uuid.uuid1/uuid4, secrets.*) in
+                       in-tree Python tooling. Trace/fixture generators
+                       must be pure functions of their command line —
+                       seeded random.Random(seed) instances are the
+                       sanctioned source of randomness.
 
 Escapes: a finding is suppressed by
-    // lint:allow(<rule>): <reason>
+    // lint:allow(<rule>): <reason>     (C++)
+    # lint:allow(<rule>): <reason>      (Python)
 on the same line or the immediately preceding line. The reason is
 mandatory — an allow without one is itself reported (`bare-allow`).
 
@@ -59,15 +68,18 @@ import os
 import re
 import sys
 
-RULES = ("unordered-iteration", "raw-rand", "wall-clock", "pointer-key",
-         "time-type", "dir-iteration")
+CPP_RULES = ("unordered-iteration", "raw-rand", "wall-clock", "pointer-key",
+             "time-type", "dir-iteration")
+PY_RULES = ("py-nondeterminism",)
+RULES = CPP_RULES + PY_RULES
 
-SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+SOURCE_EXTENSIONS = CPP_EXTENSIONS + (".py",)
 
 # Files that implement the sanctioned RNG: raw-rand does not apply.
 RNG_IMPL = re.compile(r"(^|/)common/rng\.(h|cc)$")
 
-ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+)\)\s*(:\s*(\S.*))?")
+ALLOW = re.compile(r"(?://|#)\s*lint:allow\(([a-z-]+)\)\s*(:\s*(\S.*))?")
 
 UNORDERED_DECL = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<")
@@ -94,6 +106,18 @@ TIME_TYPE = re.compile(
 DIR_ITERATION = re.compile(
     r"\brecursive_directory_iterator\b|\bdirectory_iterator\b"
     r"|\breaddir(?:_r)?\b|\bscandir\b|\bopendir\b")
+# Python: wall clock and unseeded randomness. Module-level `random.*` is
+# flagged (the global RNG is implicitly seeded from the OS); instances of
+# `random.Random(seed)` are the sanctioned source, so `random.Random` is
+# excluded and attribute calls on instances (`rng.random()`) don't match
+# the lookbehind.
+PY_NONDETERMINISM = re.compile(
+    r"(?<![\w.])time\.(?:time|time_ns|monotonic|monotonic_ns|perf_counter"
+    r"|perf_counter_ns|clock)\s*\("
+    r"|\bdatetime\.now\b|\bdatetime\.utcnow\b|\bdate\.today\b"
+    r"|\bos\.urandom\b|\buuid\.uuid1\b|\buuid\.uuid4\b"
+    r"|(?<![\w.])secrets\.\w"
+    r"|(?<![\w.])random\.(?!Random\b)\w")
 
 
 def strip_strings(line):
@@ -209,17 +233,30 @@ def range_expr_tail(code_line):
     return tails
 
 
+def split_code_comment_py(line):
+    """Python flavor of split_code_comment: '#' opens the comment."""
+    stripped = strip_strings(line)
+    pos = stripped.find("#")
+    if pos < 0:
+        return stripped, ""
+    return stripped[:pos], stripped[pos:]
+
+
 class File:
     def __init__(self, path):
         self.path = path
+        self.is_python = path.endswith(".py")
         with open(path, "r", encoding="utf-8", errors="replace") as fh:
-            text = blank_block_comments(fh.read())
+            text = fh.read()
+            if not self.is_python:
+                text = blank_block_comments(text)
         self.lines = text.splitlines()
         self.code = []
         self.allows = {}  # line number (1-based) -> set of rules
         self.bare_allows = []
+        split = split_code_comment_py if self.is_python else split_code_comment
         for number, line in enumerate(self.lines, start=1):
-            code, comment = split_code_comment(line)
+            code, comment = split(line)
             self.code.append(code)
             # The comment text is read from the original line so the
             # reason survives string-blanking.
@@ -255,6 +292,8 @@ def collect_symbols(files):
     header_taint = set()
     local_taint = {}  # path -> set of names
     for file in files:
+        if file.is_python:
+            continue
         is_header = file.path.endswith(HEADER_EXTENSIONS)
         functions = set()
         names_here = set()
@@ -293,6 +332,19 @@ def scan(paths):
     findings = []
 
     for file in files:
+        if file.is_python:
+            for number, code in enumerate(file.code, start=1):
+                if PY_NONDETERMINISM.search(code):
+                    if not file.allowed(number, "py-nondeterminism"):
+                        findings.append(
+                            (file.path, number, "py-nondeterminism",
+                             "wall-clock or unseeded randomness in Python "
+                             "tooling — trace/fixture generation must be a "
+                             "pure function of its command line (use a "
+                             "seeded random.Random instance)"))
+            for number, message in file.bare_allows:
+                findings.append((file.path, number, "bare-allow", message))
+            continue
         tainted = header_taint | local_taint.get(file.path, set())
         rng_impl = RNG_IMPL.search(file.path.replace(os.sep, "/"))
         for number, code in enumerate(file.code, start=1):
@@ -345,27 +397,37 @@ def scan(paths):
 def self_test():
     fixtures = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                             "lint_fixtures")
-    good = os.path.join(fixtures, "good.cc")
-    bad = os.path.join(fixtures, "bad.cc")
     failures = []
 
-    good_findings = scan([good])
-    if good_findings:
-        failures.append("good.cc should be clean, found: %r" % good_findings)
+    # The C++ fixtures: good.cc scans clean, bad.cc trips every C++ rule
+    # plus the bare-allow meta-rule (CI relies on this as the negative
+    # proof that the lint still bites).
+    for name in ("good.cc", "good.py"):
+        findings = scan([os.path.join(fixtures, name)])
+        if findings:
+            failures.append("%s should be clean, found: %r" %
+                            (name, findings))
 
-    bad_findings = scan([bad])
+    bad_findings = scan([os.path.join(fixtures, "bad.cc")])
     found_rules = {finding[2] for finding in bad_findings}
-    expected = set(RULES) | {"bare-allow"}
+    expected = set(CPP_RULES) | {"bare-allow"}
     missing = expected - found_rules
     if missing:
         failures.append("bad.cc should trip %s" % ", ".join(sorted(missing)))
+
+    # The Python fixture: bad.py trips the py rule (and only that rule —
+    # the C++ patterns must not run on Python sources).
+    bad_py_rules = {f[2] for f in scan([os.path.join(fixtures, "bad.py")])}
+    if bad_py_rules != {"py-nondeterminism"}:
+        failures.append("bad.py should trip exactly py-nondeterminism, "
+                        "got %s" % ", ".join(sorted(bad_py_rules)) or "none")
 
     if failures:
         for failure in failures:
             print("SELF-TEST FAIL: %s" % failure)
         return 1
-    print("self-test passed: good.cc clean, bad.cc trips %s" %
-          ", ".join(sorted(found_rules)))
+    print("self-test passed: good.cc/good.py clean, bad.cc trips %s, "
+          "bad.py trips py-nondeterminism" % ", ".join(sorted(found_rules)))
     return 0
 
 

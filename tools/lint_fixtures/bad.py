@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Self-test fixture: every line here must trip py-nondeterminism."""
+
+import datetime
+import os
+import random
+import secrets
+import time
+import uuid
+
+
+def stamp():
+    return time.time()
+
+
+def when():
+    return datetime.datetime.now()
+
+
+def salt():
+    return os.urandom(8)
+
+
+def ident():
+    return uuid.uuid4()
+
+
+def token():
+    return secrets.token_hex(4)
+
+
+def unseeded():
+    return random.random()
